@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures by calling
+the corresponding driver in :mod:`repro.experiments.figures` and prints the
+resulting rows, so ``pytest benchmarks/ --benchmark-only`` reproduces the
+whole evaluation section on the stand-in datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-eval",
+        action="store_true",
+        default=False,
+        help="run the experiment drivers on their full dataset/parameter grids",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_eval(request) -> bool:
+    """Whether to run the full (slower) parameter grids."""
+    return request.config.getoption("--full-eval")

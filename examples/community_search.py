@@ -1,0 +1,48 @@
+"""Community search on a labelled social network (the paper's Figure-1 motivation).
+
+Locally h-clique densest subgraphs give non-overlapping, near-clique
+communities.  On the Harry-Potter-style character network the top-1 L3CDS is
+the Weasley family and the top-2 is the Death Eater faction — the same kind of
+result the paper's introduction motivates.
+
+Run with::
+
+    python examples/community_search.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.datasets import harry_potter_graph
+from repro.graph import average_clustering_coefficient, edge_density
+from repro.lhcds import find_lhcds
+
+
+def main() -> None:
+    graph, faction = harry_potter_graph()
+    print(f"character network: {graph.num_vertices} characters, {graph.num_edges} relationships")
+
+    result = find_lhcds(graph, h=3, k=3)
+    for rank, community in enumerate(result.subgraphs, start=1):
+        members = community.as_sorted_list()
+        factions = Counter(faction[v] for v in members)
+        dominant = factions.most_common(1)[0][0]
+        print(f"\ncommunity #{rank} ({dominant}):")
+        print(f"  members       : {', '.join(members)}")
+        print(f"  3-clique density: {float(community.density):.2f}")
+        print(f"  edge density    : {edge_density(graph, community.vertices):.2f}")
+        print(f"  clustering coef.: {average_clustering_coefficient(graph, community.vertices):.2f}")
+
+    # Compare against the plain (h=2) locally densest subgraph: it is less
+    # clique-like, which is why the paper argues for h-clique density.
+    lds = find_lhcds(graph, h=2, k=1)
+    top = lds.subgraphs[0]
+    print(
+        f"\nfor contrast, the top L2CDS (classic LDS) has edge density "
+        f"{edge_density(graph, top.vertices):.2f} over {top.size} vertices"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Locally pattern-densest subgraph discovery (LhxPDS, Section 5 of the paper).
+
+The same IPPV pipeline optimises the density of any small pattern.  This
+example mines the synthetic political-books co-purchase network with each of
+the six four-vertex patterns of Figure 8 and shows how the detected
+communities differ.
+
+Run with::
+
+    python examples/pattern_densest.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.datasets import political_books_graph
+from repro.lhcds import find_lhxpds
+from repro.patterns import four_vertex_patterns
+
+
+def main() -> None:
+    graph, category = political_books_graph()
+    print(
+        f"co-purchase network: {graph.num_vertices} books, {graph.num_edges} edges, "
+        f"categories: {sorted(set(category.values()))}"
+    )
+
+    for name, pattern in four_vertex_patterns().items():
+        count = pattern.count(graph)
+        result = find_lhxpds(graph, pattern, k=2)
+        print(f"\npattern {name!r}: {count} occurrences in the whole graph")
+        if not result.subgraphs:
+            print("  no locally densest subgraph (pattern too rare)")
+            continue
+        for rank, subgraph in enumerate(result.subgraphs, start=1):
+            cats = Counter(category[v] for v in subgraph.vertices)
+            summary = ", ".join(f"{c}: {n}" for c, n in cats.most_common())
+            print(
+                f"  top-{rank}: {subgraph.size} books, pattern density "
+                f"{float(subgraph.density):.2f} ({summary})"
+            )
+
+
+if __name__ == "__main__":
+    main()

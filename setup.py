@@ -1,0 +1,23 @@
+"""Setuptools shim.
+
+The execution environment has no `wheel` package and no network access, so
+modern PEP-517 editable installs (which build an editable wheel) fail.  This
+shim lets `pip install -e . --no-use-pep517 --no-build-isolation` (and plain
+`python setup.py develop`) work offline.  All metadata lives in
+pyproject.toml; values are duplicated here only where the legacy path needs
+them.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Locally h-clique densest subgraph discovery (IPPV) — paper reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro-lhcds=repro.cli:main"]},
+)

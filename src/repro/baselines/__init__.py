@@ -1,0 +1,7 @@
+"""Baseline algorithms the paper compares IPPV against."""
+
+from .greedy_topk import greedy_topk_cds
+from .ldsflow import lds_flow
+from .ltds import ltds
+
+__all__ = ["greedy_topk_cds", "lds_flow", "ltds"]

@@ -1,0 +1,20 @@
+"""LTDS baseline (Samusevich et al. 2016) — locally triangle densest subgraphs.
+
+LTDS is the h = 3 specialisation of the locally densest subgraph problem.
+Like the original, this re-implementation relies on triangle enumeration plus
+full-graph flow verification with only core-number bounds — the bottlenecks
+the paper's Table 3 measures IPPV against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graph.graph import Graph
+from ..lhcds.ippv import LhCDSResult
+from .ldsflow import _topk_via_peeling
+
+
+def ltds(graph: Graph, k: Optional[int] = None) -> LhCDSResult:
+    """Top-k locally triangle densest subgraphs via the flow-heavy baseline."""
+    return _topk_via_peeling(graph, 3, k, label="triangle (LTDS)")

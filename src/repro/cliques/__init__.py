@@ -1,0 +1,33 @@
+"""h-clique enumeration and counting (the kClist substrate)."""
+
+from .counting import (
+    build_clique_instances,
+    clique_count_profile,
+    clique_density_of_subset,
+    densest_prefix_density,
+    subgraph_clique_count,
+    triangle_count,
+)
+from .kclist import (
+    clique_degrees,
+    clique_density,
+    clique_instances,
+    count_cliques,
+    enumerate_cliques,
+    list_cliques,
+)
+
+__all__ = [
+    "build_clique_instances",
+    "clique_count_profile",
+    "clique_density_of_subset",
+    "densest_prefix_density",
+    "subgraph_clique_count",
+    "triangle_count",
+    "clique_degrees",
+    "clique_density",
+    "clique_instances",
+    "count_cliques",
+    "enumerate_cliques",
+    "list_cliques",
+]

@@ -1,0 +1,15 @@
+"""Clique-core ((k, psi_h)-core) decomposition."""
+
+from .clique_core import (
+    clique_core_numbers,
+    clique_core_subgraph,
+    k_clique_core,
+    max_clique_core_number,
+)
+
+__all__ = [
+    "clique_core_numbers",
+    "clique_core_subgraph",
+    "k_clique_core",
+    "max_clique_core_number",
+]

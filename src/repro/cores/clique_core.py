@@ -1,0 +1,103 @@
+"""(k, psi_h)-core decomposition (Definition 5 of the paper).
+
+The (k, psi_h)-core is the largest subgraph in which every vertex is
+contained in at least ``k`` h-cliques (or, generally, pattern instances).
+The decomposition is computed by peeling: repeatedly remove a vertex of
+minimum remaining instance degree; the core number of a vertex is the
+maximum minimum-degree observed up to its removal.
+
+The implementation works over an :class:`~repro.instances.InstanceSet`, so
+the same code serves h-cliques and general patterns (Algorithm 7).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..graph.graph import Graph, Vertex
+from ..instances import InstanceSet
+
+
+def clique_core_numbers(
+    instances: InstanceSet,
+    vertices: Optional[Iterable[Vertex]] = None,
+) -> Dict[Vertex, int]:
+    """Return ``core_G(u, psi_h)`` for every vertex.
+
+    Parameters
+    ----------
+    instances:
+        The pattern instances of the host graph.
+    vertices:
+        The vertex universe.  Vertices appearing in no instance get core
+        number 0.  Defaults to the vertices covered by the instances.
+    """
+    universe: Set[Vertex] = set(vertices) if vertices is not None else instances.vertices()
+    degrees: Dict[Vertex, int] = {v: 0 for v in universe}
+    for v in instances.vertices():
+        if v in degrees:
+            degrees[v] = instances.degree(v)
+
+    alive_instance = [all(v in universe for v in inst) for inst in instances.instances]
+    # Degrees must only count instances fully inside the universe.
+    if vertices is not None:
+        degrees = {v: 0 for v in universe}
+        for idx, inst in enumerate(instances.instances):
+            if alive_instance[idx]:
+                for v in inst:
+                    degrees[v] += 1
+
+    heap: List[Tuple[int, int, Vertex]] = []
+    counter = 0
+    for v, d in degrees.items():
+        heap.append((d, counter, v))
+        counter += 1
+    heapq.heapify(heap)
+
+    removed: Dict[Vertex, bool] = {v: False for v in universe}
+    core: Dict[Vertex, int] = {}
+    current = 0
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if removed.get(v, True) or d != degrees[v]:
+            continue
+        removed[v] = True
+        current = max(current, d)
+        core[v] = current
+        for idx in instances.instances_containing(v):
+            if not alive_instance[idx]:
+                continue
+            alive_instance[idx] = False
+            for u in instances.instances[idx]:
+                if u != v and u in removed and not removed[u]:
+                    degrees[u] -= 1
+                    counter += 1
+                    heapq.heappush(heap, (degrees[u], counter, u))
+    return core
+
+
+def k_clique_core(
+    instances: InstanceSet,
+    k: int,
+    vertices: Optional[Iterable[Vertex]] = None,
+) -> Set[Vertex]:
+    """Return the vertex set of the (k, psi_h)-core.
+
+    The result is the maximal vertex set in which every vertex belongs to at
+    least ``k`` surviving instances.
+    """
+    universe: Set[Vertex] = set(vertices) if vertices is not None else instances.vertices()
+    core = clique_core_numbers(instances, universe)
+    return {v for v in universe if core.get(v, 0) >= k}
+
+
+def max_clique_core_number(instances: InstanceSet) -> int:
+    """Return the maximum (k, psi_h)-core number over all vertices."""
+    core = clique_core_numbers(instances)
+    return max(core.values(), default=0)
+
+
+def clique_core_subgraph(graph: Graph, instances: InstanceSet, k: int) -> Graph:
+    """Return the induced subgraph of the (k, psi_h)-core."""
+    return graph.induced_subgraph(k_clique_core(instances, k, graph.vertices()))

@@ -1,0 +1,196 @@
+"""Hand-built example graphs used by the paper's running examples and case studies.
+
+* :func:`figure2_like_graph` — a small graph with the same qualitative
+  structure as the paper's Figure 2: a 6-vertex near-clique (13 triangles,
+  density 13/6), a 5-clique, a diamond, and a sparse periphery.  Its top
+  L3CDS/L4CDS structure matches the properties the paper quotes.
+* :func:`harry_potter_graph` — a labelled character network in the spirit of
+  Figure 1, with the Weasley-family clique and the Death-Eater faction as the
+  two densest communities.
+* :func:`political_books_graph` — a synthetic stand-in for Krebs' books about
+  US politics co-purchase network (Figures 13 and 17): three labelled
+  categories, each containing a planted dense core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graph.graph import Graph, Vertex
+from .synthetic import planted_communities_graph
+
+
+def figure2_like_graph() -> Graph:
+    """Return the Figure-2-style example graph on vertices ``v1..v20``.
+
+    Structure:
+
+    * ``S1 = {12..17}`` — K6 minus the two edges (12,13) and (13,14):
+      13 triangles, 3-clique density 13/6 (the top-1 L3CDS), 6 four-cliques.
+    * ``S2 = {2..6}``  — K5: 10 triangles (density 2, the top-2 L3CDS),
+      5 four-cliques (density 1, a top L4CDS).
+    * ``S3 = {8..11}`` — a diamond (two triangles, density 1/2).
+    * periphery: vertex 1 pendant on S2, vertex 7 bridging S2 and S3,
+      vertices 18-20 forming a triangle attached to S1, plus bridges
+      6-9 and 11-12 connecting the regions.
+    """
+    g = Graph(vertices=range(1, 21))
+    s1 = [12, 13, 14, 15, 16, 17]
+    for i, u in enumerate(s1):
+        for v in s1[i + 1:]:
+            g.add_edge(u, v)
+    g.remove_edge(12, 13)
+    g.remove_edge(13, 14)
+
+    s2 = [2, 3, 4, 5, 6]
+    for i, u in enumerate(s2):
+        for v in s2[i + 1:]:
+            g.add_edge(u, v)
+
+    # S3: diamond on 8-11 with shared edge (9, 10).
+    for u, v in [(8, 9), (8, 10), (9, 10), (9, 11), (10, 11)]:
+        g.add_edge(u, v)
+
+    # Periphery and bridges.
+    g.add_edge(1, 2)
+    g.add_edge(7, 6)
+    g.add_edge(7, 8)
+    for u, v in [(18, 19), (19, 20), (18, 20), (18, 17)]:
+        g.add_edge(u, v)
+    g.add_edge(6, 9)
+    g.add_edge(11, 12)
+    return g
+
+
+def harry_potter_graph() -> Tuple[Graph, Dict[Vertex, str]]:
+    """Return a labelled character network in the spirit of Figure 1.
+
+    Labels are faction names; the Weasley family forms a 9-vertex clique
+    (the top-1 L3CDS of the figure) and the Death Eaters form the second
+    dense faction.
+    """
+    weasleys = [
+        "Ron Weasley",
+        "Ginny Weasley",
+        "Fred Weasley",
+        "George Weasley",
+        "Percy Weasley",
+        "Charlie Weasley",
+        "Bill Weasley",
+        "Arthur Weasley",
+        "Molly Weasley",
+    ]
+    death_eaters = [
+        "Voldemort",
+        "Lucius Malfoy",
+        "Narcissa Malfoy",
+        "Draco Malfoy",
+        "Bellatrix Lestrange",
+        "Severus Snape",
+        "Alecto Carrow",
+        "Antonin Dolohov",
+    ]
+    order = [
+        "Harry Potter",
+        "Hermione Granger",
+        "Albus Dumbledore",
+        "Minerva McGonagall",
+        "Remus Lupin",
+        "Sirius Black",
+        "Neville Longbottom",
+    ]
+    potters = ["James Potter", "Lily Potter"]
+    longbottoms = ["Alice Longbottom", "Frank Longbottom", "Augusta Longbottom"]
+    dumbledores = ["Aberforth Dumbledore", "Ariana Dumbledore"]
+
+    g = Graph()
+    labels: Dict[Vertex, str] = {}
+
+    def add_clique(people, label):
+        for p in people:
+            g.add_vertex(p)
+            labels[p] = label
+        for i, u in enumerate(people):
+            for v in people[i + 1:]:
+                g.add_edge(u, v)
+
+    add_clique(weasleys, "Weasley family")
+    add_clique(death_eaters, "Death Eaters")
+    for p in order:
+        g.add_vertex(p)
+        labels[p] = "Order of the Phoenix"
+    for p in potters:
+        g.add_vertex(p)
+        labels[p] = "Potter family"
+    for p in longbottoms:
+        g.add_vertex(p)
+        labels[p] = "Longbottom family"
+    for p in dumbledores:
+        g.add_vertex(p)
+        labels[p] = "Dumbledore family"
+
+    friendships = [
+        ("Harry Potter", "Ron Weasley"),
+        ("Harry Potter", "Hermione Granger"),
+        ("Harry Potter", "Ginny Weasley"),
+        ("Hermione Granger", "Ron Weasley"),
+        ("Harry Potter", "Sirius Black"),
+        ("Harry Potter", "Remus Lupin"),
+        ("Harry Potter", "Albus Dumbledore"),
+        ("Harry Potter", "Neville Longbottom"),
+        ("Sirius Black", "Remus Lupin"),
+        ("Sirius Black", "James Potter"),
+        ("Remus Lupin", "James Potter"),
+        ("James Potter", "Lily Potter"),
+        ("Harry Potter", "James Potter"),
+        ("Harry Potter", "Lily Potter"),
+        ("Severus Snape", "Lily Potter"),
+        ("Severus Snape", "Albus Dumbledore"),
+        ("Albus Dumbledore", "Minerva McGonagall"),
+        ("Albus Dumbledore", "Aberforth Dumbledore"),
+        ("Aberforth Dumbledore", "Ariana Dumbledore"),
+        ("Albus Dumbledore", "Ariana Dumbledore"),
+        ("Neville Longbottom", "Alice Longbottom"),
+        ("Neville Longbottom", "Frank Longbottom"),
+        ("Neville Longbottom", "Augusta Longbottom"),
+        ("Alice Longbottom", "Frank Longbottom"),
+        ("Frank Longbottom", "Augusta Longbottom"),
+        ("Alice Longbottom", "Augusta Longbottom"),
+        ("Bellatrix Lestrange", "Sirius Black"),
+        ("Bellatrix Lestrange", "Alice Longbottom"),
+        ("Bellatrix Lestrange", "Frank Longbottom"),
+        ("Voldemort", "Harry Potter"),
+        ("Minerva McGonagall", "Harry Potter"),
+    ]
+    for u, v in friendships:
+        g.add_edge(u, v)
+    return g, labels
+
+
+def political_books_graph(seed: int = 7) -> Tuple[Graph, Dict[Vertex, str]]:
+    """Synthetic stand-in for the Krebs political-books co-purchase network.
+
+    Three labelled categories (liberal / conservative / neutral); the liberal
+    and conservative categories each contain a planted dense co-purchase core,
+    while the neutral books are sparsely connected to both — the structure the
+    case studies of Figures 13 and 17 rely on.
+    """
+    sizes = [18, 16, 10, 8]  # liberal core, conservative core, liberal tail, conservative tail
+    graph, numeric_labels = planted_communities_graph(
+        sizes,
+        p_in=0.75,
+        p_out=0.03,
+        seed=seed,
+        background=12,
+    )
+    category_of_community = {0: "liberal", 1: "conservative", 2: "liberal", 3: "conservative", -1: "neutral"}
+    labels = {v: category_of_community[c] for v, c in numeric_labels.items()}
+    # Thin out the tail communities so only the two cores are truly dense.
+    import random as _random
+
+    rng = _random.Random(seed + 1)
+    for u, v in list(graph.edges()):
+        if numeric_labels[u] in (2, 3) and numeric_labels[v] in (2, 3):
+            if rng.random() < 0.5:
+                graph.remove_edge(u, v)
+    return graph, labels

@@ -1,0 +1,11 @@
+"""Densest-subgraph primitives (exact flow-based and greedy approximations)."""
+
+from .exact import densest_subgraph_density, maximal_densest_subset
+from .greedy import greedy_densest_subset, greedy_peel_order
+
+__all__ = [
+    "densest_subgraph_density",
+    "maximal_densest_subset",
+    "greedy_densest_subset",
+    "greedy_peel_order",
+]

@@ -1,0 +1,135 @@
+"""Exact (maximal) densest-subset computation over an instance set.
+
+Given an :class:`~repro.instances.InstanceSet` (h-cliques or any pattern),
+these routines compute the subgraph maximising the instance density
+``|Psi(S)| / |S|`` *exactly*, via Dinkelbach-style iteration over the
+``DeriveCompact`` flow network: at a guess ``rho`` the network's maximal
+min-cut source side is the largest maximiser of ``|Psi(S)| - rho |S|``;
+if it is denser than ``rho`` the guess increases, otherwise the current
+maximiser is the (unique) maximal densest subgraph.
+
+A constrained variant (force a seed set onto the source side) supports the
+diminishingly-dense decomposition in :mod:`repro.lhcds.exact`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional, Set, Tuple
+
+from ..errors import AlgorithmError
+from ..flow.dinic import MaxFlowNetwork
+from ..flow.network import SINK, SOURCE, FractionalArcCollector, instance_node, vertex_node
+from ..graph.graph import Vertex
+from ..instances import InstanceSet
+
+
+def _best_response(
+    instances: InstanceSet,
+    universe: Set[Vertex],
+    rho: Fraction,
+    forced: Set[Vertex],
+) -> Set[Vertex]:
+    """Return the largest ``S`` (with ``forced`` ⊆ S) maximising |Psi(S)| - rho|S|.
+
+    ``forced`` vertices are pinned to the source side with infinite-capacity
+    source arcs (implemented as a capacity larger than any possible cut).
+    """
+    h = instances.h
+    collector = FractionalArcCollector()
+    total_degree = Fraction(0)
+    degrees = {v: Fraction(instances.degree(v)) for v in universe}
+    for v in universe:
+        total_degree += degrees[v]
+    # An arc larger than the sum of every finite capacity acts as infinity.
+    infinite = total_degree + rho * h * len(universe) + len(universe) + 1
+
+    for idx, inst in enumerate(instances.instances):
+        node = instance_node(idx)
+        for v in inst:
+            collector.add(vertex_node(v), node, Fraction(1))
+            collector.add(node, vertex_node(v), Fraction(h - 1))
+    for v in universe:
+        cap = infinite if v in forced else degrees[v]
+        collector.add(SOURCE, vertex_node(v), cap)
+        collector.add(vertex_node(v), SINK, rho * h)
+
+    network, _ = collector.build()
+    network.solve(SOURCE, SINK)
+    cut = network.min_cut_source_side(SOURCE, maximal=True)
+    return {node[1] for node in cut if isinstance(node, tuple) and node[0] == "v"}
+
+
+def maximal_densest_subset(
+    instances: InstanceSet,
+    vertices: Optional[Iterable[Vertex]] = None,
+    *,
+    seed: Optional[Iterable[Vertex]] = None,
+) -> Tuple[Set[Vertex], Fraction]:
+    """Return the maximal densest vertex set and its exact density.
+
+    Parameters
+    ----------
+    instances:
+        Pattern instances of the working graph (only instances fully inside
+        ``vertices`` are counted).
+    vertices:
+        Vertex universe; defaults to the vertices covered by ``instances``.
+    seed:
+        Optional set of vertices that must be included ("constrained"
+        density maximisation); used by the diminishingly-dense decomposition
+        to maximise the *marginal* density beyond an inner shell.
+
+    Returns
+    -------
+    (subset, density):
+        With a seed, ``density`` is the marginal density
+        ``(|Psi(S)| - |Psi(seed)|) / (|S| - |seed|)`` of the returned set;
+        without a seed it is the plain density ``|Psi(S)| / |S|``.
+    """
+    universe: Set[Vertex] = set(vertices) if vertices is not None else instances.vertices()
+    if not universe:
+        raise AlgorithmError("cannot compute densest subset of an empty universe")
+    working = instances.restrict(universe) if vertices is not None else instances
+    forced: Set[Vertex] = set(seed) if seed is not None else set()
+    if forced - universe:
+        raise AlgorithmError("seed vertices must be contained in the universe")
+    if forced == universe:
+        raise AlgorithmError("seed must be a strict subset of the universe")
+
+    seed_count = working.count_within(forced) if forced else 0
+
+    def marginal_density(subset: Set[Vertex]) -> Fraction:
+        extra_vertices = len(subset) - len(forced)
+        if extra_vertices <= 0:
+            return Fraction(0)
+        extra_instances = working.count_within(subset) - seed_count
+        return Fraction(extra_instances, extra_vertices)
+
+    # Start from the whole universe (always a feasible superset of the seed).
+    best_set = set(universe)
+    rho = marginal_density(best_set)
+
+    while True:
+        candidate = _best_response(working, universe, rho, forced)
+        candidate |= forced
+        if len(candidate) <= len(forced):
+            # Nothing beats the current guess; the previous best is optimal.
+            return best_set, rho
+        cand_density = marginal_density(candidate)
+        if cand_density > rho:
+            rho = cand_density
+            best_set = candidate
+            continue
+        # The guess rho is optimal; the maximal maximiser at rho is the
+        # maximal densest subset (it contains every optimal set).
+        if cand_density == rho:
+            best_set = candidate
+        return best_set, rho
+
+
+def densest_subgraph_density(
+    instances: InstanceSet, vertices: Optional[Iterable[Vertex]] = None
+) -> Fraction:
+    """Return only the maximum instance density (see :func:`maximal_densest_subset`)."""
+    return maximal_densest_subset(instances, vertices)[1]

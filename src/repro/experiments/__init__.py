@@ -1,0 +1,43 @@
+"""Reproduction harness: one driver per table / figure of the paper."""
+
+from .figures import (
+    ALL_EXPERIMENTS,
+    figure9_verification_comparison,
+    figure10_stage_breakdown,
+    figure11_density_scaling,
+    figure12_ldsflow_comparison,
+    figure13_case_study,
+    figure14_greedy_comparison,
+    figure15_memory_usage,
+    figure16_iteration_sweep,
+    figure17_pattern_case_study,
+    run_experiment,
+    table2_dataset_statistics,
+    table3_ltds_comparison,
+    table4_quality_metrics,
+    table5_clustering_coefficient,
+)
+from .harness import ExperimentResult, Measurement, format_table, measure, speedup
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+    "table2_dataset_statistics",
+    "figure9_verification_comparison",
+    "figure10_stage_breakdown",
+    "figure11_density_scaling",
+    "figure12_ldsflow_comparison",
+    "table3_ltds_comparison",
+    "table4_quality_metrics",
+    "table5_clustering_coefficient",
+    "figure13_case_study",
+    "figure14_greedy_comparison",
+    "figure15_memory_usage",
+    "figure16_iteration_sweep",
+    "figure17_pattern_case_study",
+    "ExperimentResult",
+    "Measurement",
+    "format_table",
+    "measure",
+    "speedup",
+]

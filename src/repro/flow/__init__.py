@@ -1,0 +1,21 @@
+"""Exact max-flow / min-cut machinery used by the verification algorithms."""
+
+from .dinic import MaxFlowNetwork
+from .network import (
+    SINK,
+    SOURCE,
+    FractionalArcCollector,
+    build_compact_network,
+    solve_compact_network,
+    vertex_node,
+)
+
+__all__ = [
+    "MaxFlowNetwork",
+    "SINK",
+    "SOURCE",
+    "FractionalArcCollector",
+    "build_compact_network",
+    "solve_compact_network",
+    "vertex_node",
+]

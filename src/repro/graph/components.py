@@ -1,0 +1,92 @@
+"""Connectivity helpers: BFS, connected components, distances, diameter."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..errors import GraphError
+from .graph import Graph, Vertex
+
+
+def bfs_order(graph: Graph, source: Vertex) -> List[Vertex]:
+    """Return vertices reachable from ``source`` in BFS order."""
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    seen: Set[Vertex] = {source}
+    order: List[Vertex] = [source]
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in seen:
+                seen.add(u)
+                order.append(u)
+                queue.append(u)
+    return order
+
+
+def connected_components(graph: Graph) -> List[Set[Vertex]]:
+    """Return the connected components as a list of vertex sets.
+
+    Components are ordered by their first-seen vertex (graph insertion
+    order), which keeps results deterministic across runs.
+    """
+    seen: Set[Vertex] = set()
+    components: List[Set[Vertex]] = []
+    for v in graph:
+        if v in seen:
+            continue
+        comp = set(bfs_order(graph, v))
+        seen |= comp
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return ``True`` for a connected, non-empty graph."""
+    if graph.num_vertices == 0:
+        return False
+    first = next(iter(graph))
+    return len(bfs_order(graph, first)) == graph.num_vertices
+
+
+def component_of(graph: Graph, vertex: Vertex) -> Set[Vertex]:
+    """Return the connected component containing ``vertex``."""
+    return set(bfs_order(graph, vertex))
+
+
+def shortest_path_lengths(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
+    """Return unweighted shortest-path lengths from ``source``."""
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    dist: Dict[Vertex, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def eccentricity(graph: Graph, vertex: Vertex) -> int:
+    """Return the eccentricity of ``vertex`` within its component."""
+    dist = shortest_path_lengths(graph, vertex)
+    return max(dist.values()) if dist else 0
+
+
+def diameter(graph: Graph, vertices: Optional[Iterable[Vertex]] = None) -> int:
+    """Return the diameter of the (sub)graph.
+
+    When ``vertices`` is given, the diameter of the induced subgraph is
+    computed.  A disconnected or empty graph raises :class:`GraphError`
+    because the paper only reports diameters of connected LhCDSes.
+    """
+    g = graph if vertices is None else graph.induced_subgraph(vertices)
+    if g.num_vertices == 0:
+        raise GraphError("diameter of an empty graph is undefined")
+    if not is_connected(g):
+        raise GraphError("diameter of a disconnected graph is undefined")
+    return max(eccentricity(g, v) for v in g)

@@ -1,0 +1,267 @@
+"""Core undirected graph data structure.
+
+The :class:`Graph` class is the substrate every algorithm in this package is
+built on.  It is a simple adjacency-set representation tuned for the access
+patterns the paper's algorithms need:
+
+* fast neighbourhood iteration and membership tests (clique listing),
+* cheap induced-subgraph construction (the IPPV pipeline repeatedly recurses
+  into candidate subgraphs),
+* stable, hashable vertex identifiers (any hashable object is accepted; the
+  synthetic datasets use integers and the case-study graphs use strings).
+
+Self-loops are ignored and parallel edges are collapsed, matching the paper's
+setting of simple undirected graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from ..errors import GraphError
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class Graph:
+    """A simple undirected graph backed by adjacency sets.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Self-loops are skipped and
+        duplicate edges are collapsed.
+    vertices:
+        Optional iterable of vertices to add even if they have no incident
+        edge (isolated vertices participate in density denominators).
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(
+        self,
+        edges: Iterable[Edge] | None = None,
+        vertices: Iterable[Vertex] | None = None,
+    ) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``; self-loops are ignored."""
+        if u == v:
+            return
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and all its incident edges.
+
+        Raises
+        ------
+        GraphError
+            If ``v`` is not in the graph.
+        """
+        if v not in self._adj:
+            raise GraphError(f"vertex {v!r} not in graph")
+        for u in self._adj[v]:
+            self._adj[u].discard(v)
+        del self._adj[v]
+
+    def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
+        """Remove several vertices (ignoring ones already absent)."""
+        for v in list(vertices):
+            if v in self._adj:
+                self.remove_vertex(v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}`` if present."""
+        if u in self._adj:
+            self._adj[u].discard(v)
+        if v in self._adj:
+            self._adj[v].discard(u)
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (``n`` in the paper)."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (``m`` in the paper)."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def vertices(self) -> List[Vertex]:
+        """Return the vertex list (insertion order)."""
+        return list(self._adj)
+
+    def vertex_set(self) -> Set[Vertex]:
+        """Return the vertex set as a new :class:`set`."""
+        return set(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: Set[FrozenSet[Vertex]] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield (u, v)
+
+    def edge_list(self) -> List[Edge]:
+        """Return all edges as a list."""
+        return list(self.edges())
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Return the neighbour set of ``v`` (a live view — do not mutate)."""
+        try:
+            return self._adj[v]
+        except KeyError as exc:
+            raise GraphError(f"vertex {v!r} not in graph") from exc
+
+    def degree(self, v: Vertex) -> int:
+        """Return the number of neighbours of ``v``."""
+        return len(self.neighbors(v))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` when the edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """Return ``True`` when ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return ``G[S]``, the subgraph induced by the given vertex set.
+
+        Vertices not present in the graph are silently ignored so callers can
+        pass candidate sets computed on a larger parent graph.
+        """
+        keep = {v for v in vertices if v in self._adj}
+        sub = Graph()
+        for v in keep:
+            sub.add_vertex(v)
+        for v in keep:
+            for u in self._adj[v]:
+                if u in keep:
+                    sub.add_edge(u, v)
+        return sub
+
+    def relabelled(self) -> Tuple["Graph", Dict[Vertex, int], List[Vertex]]:
+        """Return a copy with vertices relabelled to ``0..n-1``.
+
+        Returns the new graph, the mapping ``old -> new`` and the inverse
+        list ``new -> old``.  Several numeric kernels (clique listing, flow)
+        are faster over dense integer ids.
+        """
+        order = list(self._adj)
+        mapping = {v: i for i, v in enumerate(order)}
+        g = Graph(vertices=range(len(order)))
+        for u, v in self.edges():
+            g.add_edge(mapping[u], mapping[v])
+        return g, mapping, order
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if set(self._adj) != set(other._adj):
+            return False
+        return all(self._adj[v] == other._adj[v] for v in self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph :math:`K_n` on vertices ``0..n-1``."""
+    if n < 0:
+        raise GraphError("n must be non-negative")
+    g = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """Return the path graph :math:`P_n` on vertices ``0..n-1``."""
+    if n < 0:
+        raise GraphError("n must be non-negative")
+    g = Graph(vertices=range(n))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle graph :math:`C_n` on vertices ``0..n-1``."""
+    if n < 3:
+        raise GraphError("cycle graphs need at least 3 vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Return a star with centre ``0`` and ``n_leaves`` leaves ``1..n``."""
+    if n_leaves < 0:
+        raise GraphError("n_leaves must be non-negative")
+    g = Graph(vertices=range(n_leaves + 1))
+    for i in range(1, n_leaves + 1):
+        g.add_edge(0, i)
+    return g
+
+
+def union_graph(*graphs: Graph) -> Graph:
+    """Return the disjoint-vertex-id union of several graphs.
+
+    Vertex ids are kept as-is; the caller is responsible for making them
+    disjoint (or for wanting the overlap).
+    """
+    g = Graph()
+    for other in graphs:
+        for v in other.vertices():
+            g.add_vertex(v)
+        for u, v in other.edges():
+            g.add_edge(u, v)
+    return g

@@ -1,0 +1,69 @@
+"""Edge-list input/output.
+
+The paper's datasets are plain whitespace-separated edge lists (SNAP /
+NetworkRepository style).  The reader accepts comments (``#`` or ``%``),
+optional weights (ignored), and arbitrary string or integer vertex labels.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from ..errors import GraphFormatError
+from .graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def parse_edge_list(lines: Iterable[str], *, as_int: bool = True) -> Graph:
+    """Build a graph from an iterable of edge-list lines.
+
+    Parameters
+    ----------
+    lines:
+        Lines of the form ``u v [weight]``; blank lines and lines starting
+        with ``#`` or ``%`` are skipped.
+    as_int:
+        When true (default) vertex tokens are converted to ``int`` if every
+        token parses; otherwise labels stay strings.
+    """
+    pairs: List[Tuple[str, str]] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        tokens = line.split()
+        if len(tokens) < 2:
+            raise GraphFormatError(f"line {lineno}: expected at least two tokens, got {line!r}")
+        pairs.append((tokens[0], tokens[1]))
+
+    if as_int:
+        try:
+            int_pairs = [(int(u), int(v)) for u, v in pairs]
+        except ValueError:
+            int_pairs = None
+        if int_pairs is not None:
+            return Graph(edges=int_pairs)
+    return Graph(edges=pairs)
+
+
+def read_edge_list(path: PathLike, *, as_int: bool = True) -> Graph:
+    """Read an edge-list file from disk (see :func:`parse_edge_list`)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return parse_edge_list(handle, as_int=as_int)
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write the graph as a whitespace-separated edge list."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# undirected graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def graph_from_edge_string(text: str, *, as_int: bool = True) -> Graph:
+    """Build a graph from a newline-separated edge-list string."""
+    return parse_edge_list(text.splitlines(), as_int=as_int)

@@ -1,0 +1,82 @@
+"""Quality metrics the paper reports about detected subgraphs.
+
+These back Tables 4 and 5 of the evaluation (average edge density, diameter,
+clustering coefficient) and the general "characteristics of the detected
+LhCDSes" analysis in Section 6.4.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional
+
+from ..errors import GraphError
+from .components import diameter as _diameter
+from .graph import Graph, Vertex
+
+
+def edge_density(graph: Graph, vertices: Optional[Iterable[Vertex]] = None) -> float:
+    """Return ``2|E| / (|V| (|V|-1))`` for the (induced) subgraph.
+
+    A single-vertex graph has density 0 by convention; an empty graph raises.
+    """
+    g = graph if vertices is None else graph.induced_subgraph(vertices)
+    n = g.num_vertices
+    if n == 0:
+        raise GraphError("edge density of an empty graph is undefined")
+    if n == 1:
+        return 0.0
+    return 2.0 * g.num_edges / (n * (n - 1))
+
+
+def average_degree(graph: Graph) -> float:
+    """Return the average vertex degree (0 for an empty graph)."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / n
+
+
+def degree_density(graph: Graph, vertices: Optional[Iterable[Vertex]] = None) -> Fraction:
+    """Return the classic densest-subgraph objective ``|E(S)| / |S|`` exactly."""
+    g = graph if vertices is None else graph.induced_subgraph(vertices)
+    n = g.num_vertices
+    if n == 0:
+        raise GraphError("degree density of an empty graph is undefined")
+    return Fraction(g.num_edges, n)
+
+
+def local_clustering_coefficient(graph: Graph, vertex: Vertex) -> float:
+    """Return the local clustering coefficient of ``vertex``.
+
+    ``C_u = 2 |{(v,w) in E : v,w in N(u)}| / (k_u (k_u - 1))`` with the
+    convention ``C_u = 0`` when ``u`` has fewer than two neighbours.
+    """
+    nbrs = list(graph.neighbors(vertex))
+    k = len(nbrs)
+    if k < 2:
+        return 0.0
+    links = 0
+    nbr_set = graph.neighbors(vertex)
+    for i, v in enumerate(nbrs):
+        # Count each neighbour pair once by intersecting with later neighbours.
+        for w in nbrs[i + 1:]:
+            if w in graph.neighbors(v):
+                links += 1
+    del nbr_set
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering_coefficient(
+    graph: Graph, vertices: Optional[Iterable[Vertex]] = None
+) -> float:
+    """Return the mean local clustering coefficient over the (sub)graph."""
+    g = graph if vertices is None else graph.induced_subgraph(vertices)
+    if g.num_vertices == 0:
+        raise GraphError("clustering coefficient of an empty graph is undefined")
+    return sum(local_clustering_coefficient(g, v) for v in g) / g.num_vertices
+
+
+def subgraph_diameter(graph: Graph, vertices: Optional[Iterable[Vertex]] = None) -> int:
+    """Return the diameter of the (induced, connected) subgraph."""
+    return _diameter(graph, vertices)

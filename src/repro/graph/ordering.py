@@ -1,0 +1,98 @@
+"""Vertex orderings and edge-based core decomposition.
+
+The degeneracy ordering drives the kClist-style h-clique enumerator and the
+classic (edge) k-core decomposition provides the warm-up bounds for the h = 2
+case as well as a sanity baseline for the clique-core decomposition.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from .graph import Graph, Vertex
+
+
+def degeneracy_ordering(graph: Graph) -> Tuple[List[Vertex], Dict[Vertex, int], int]:
+    """Compute a degeneracy (smallest-last) ordering.
+
+    Repeatedly removes a vertex of minimum remaining degree.  Returns the
+    removal order, the position (rank) of each vertex in that order, and the
+    graph degeneracy (the maximum degree seen at removal time).
+
+    The ordering has the property that each vertex has at most *degeneracy*
+    neighbours appearing later in the order, which bounds the branching of
+    the clique enumerator.
+    """
+    degrees: Dict[Vertex, int] = {v: graph.degree(v) for v in graph}
+    # A lazy-deletion heap keyed by current degree keeps the loop O(m log n).
+    heap: List[Tuple[int, int, Vertex]] = []
+    counter = 0
+    for v, d in degrees.items():
+        heap.append((d, counter, v))
+        counter += 1
+    heapq.heapify(heap)
+
+    removed: Dict[Vertex, bool] = {v: False for v in graph}
+    order: List[Vertex] = []
+    degeneracy = 0
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if removed[v] or d != degrees[v]:
+            continue
+        removed[v] = True
+        degeneracy = max(degeneracy, d)
+        order.append(v)
+        for u in graph.neighbors(v):
+            if not removed[u]:
+                degrees[u] -= 1
+                counter += 1
+                heapq.heappush(heap, (degrees[u], counter, u))
+    rank = {v: i for i, v in enumerate(order)}
+    return order, rank, degeneracy
+
+
+def core_decomposition(graph: Graph) -> Dict[Vertex, int]:
+    """Return the classic (edge) core number of every vertex.
+
+    The core number of ``v`` is the largest ``k`` such that ``v`` belongs to
+    a subgraph in which every vertex has degree at least ``k``.
+    """
+    degrees: Dict[Vertex, int] = {v: graph.degree(v) for v in graph}
+    heap: List[Tuple[int, int, Vertex]] = []
+    counter = 0
+    for v, d in degrees.items():
+        heap.append((d, counter, v))
+        counter += 1
+    heapq.heapify(heap)
+
+    core: Dict[Vertex, int] = {}
+    removed: Dict[Vertex, bool] = {v: False for v in graph}
+    current = 0
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if removed[v] or d != degrees[v]:
+            continue
+        removed[v] = True
+        current = max(current, d)
+        core[v] = current
+        for u in graph.neighbors(v):
+            if not removed[u]:
+                degrees[u] -= 1
+                counter += 1
+                heapq.heappush(heap, (degrees[u], counter, u))
+    return core
+
+
+def k_core(graph: Graph, k: int) -> Graph:
+    """Return the (edge) ``k``-core: the maximal subgraph with min degree >= k."""
+    core = core_decomposition(graph)
+    keep = [v for v, c in core.items() if c >= k]
+    return graph.induced_subgraph(keep)
+
+
+def degeneracy(graph: Graph) -> int:
+    """Return the degeneracy of the graph (0 for an empty graph)."""
+    if graph.num_vertices == 0:
+        return 0
+    return degeneracy_ordering(graph)[2]

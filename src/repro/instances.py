@@ -1,0 +1,123 @@
+"""Instance sets: the common currency of the IPPV pipeline.
+
+An *instance* is one occurrence of the pattern being densified — an h-clique
+for the LhCDS problem, or any other small pattern for the LhxPDS extension
+(Section 5 of the paper).  Every stage of IPPV (bounds, Frank–Wolfe weight
+distribution, decomposition, pruning, flow-based verification) only needs:
+
+* the list of instances (each a tuple of ``h`` distinct vertices),
+* for each vertex, the indices of the instances containing it,
+* the pattern size ``h``.
+
+Bundling these in :class:`InstanceSet` lets Algorithm 6 (LhCDS) and
+Algorithm 7 (LhxPDS) share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .errors import AlgorithmError
+from .graph.graph import Vertex
+
+Instance = Tuple[Vertex, ...]
+
+
+@dataclass(frozen=True)
+class InstanceSet:
+    """An immutable collection of pattern instances over a vertex universe.
+
+    Attributes
+    ----------
+    h:
+        Number of vertices per instance (the pattern size).
+    instances:
+        Tuple of instances; each instance is a tuple of ``h`` distinct
+        vertices.  Order inside an instance is irrelevant to the algorithms.
+    membership:
+        Mapping from vertex to the sorted tuple of instance indices that
+        contain it.  Vertices of the host graph that appear in no instance
+        are *not* required to be present.
+    """
+
+    h: int
+    instances: Tuple[Instance, ...]
+    membership: Dict[Vertex, Tuple[int, ...]] = field(repr=False)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_instances(h: int, instances: Iterable[Sequence[Vertex]]) -> "InstanceSet":
+        """Build an :class:`InstanceSet`, validating instance arity."""
+        if h < 1:
+            raise AlgorithmError(f"pattern size h must be >= 1, got {h}")
+        normalised: List[Instance] = []
+        membership: Dict[Vertex, List[int]] = {}
+        for idx, inst in enumerate(instances):
+            tup = tuple(inst)
+            if len(tup) != h:
+                raise AlgorithmError(
+                    f"instance {idx} has {len(tup)} vertices, expected {h}: {tup!r}"
+                )
+            if len(set(tup)) != h:
+                raise AlgorithmError(f"instance {idx} has repeated vertices: {tup!r}")
+            normalised.append(tup)
+            for v in tup:
+                membership.setdefault(v, []).append(idx)
+        frozen_membership = {v: tuple(ids) for v, ids in membership.items()}
+        return InstanceSet(h=h, instances=tuple(normalised), membership=frozen_membership)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_instances(self) -> int:
+        """Total number of instances (``|Psi_h(G)|`` in the paper)."""
+        return len(self.instances)
+
+    def degree(self, vertex: Vertex) -> int:
+        """Return the instance degree of ``vertex`` (``deg_G(v, psi_h)``)."""
+        return len(self.membership.get(vertex, ()))
+
+    def degrees(self) -> Dict[Vertex, int]:
+        """Return the instance degree of every vertex that appears somewhere."""
+        return {v: len(ids) for v, ids in self.membership.items()}
+
+    def vertices(self) -> Set[Vertex]:
+        """Return the set of vertices covered by at least one instance."""
+        return set(self.membership)
+
+    def instances_containing(self, vertex: Vertex) -> Tuple[int, ...]:
+        """Return indices of instances that contain ``vertex``."""
+        return self.membership.get(vertex, ())
+
+    # ------------------------------------------------------------------
+    # restriction
+    # ------------------------------------------------------------------
+    def restrict(self, vertices: Iterable[Vertex]) -> "InstanceSet":
+        """Return the sub-collection of instances fully inside ``vertices``."""
+        keep = set(vertices)
+        kept = [inst for inst in self.instances if all(v in keep for v in inst)]
+        return InstanceSet.from_instances(self.h, kept)
+
+    def count_within(self, vertices: Iterable[Vertex]) -> int:
+        """Count instances fully contained in ``vertices`` without copying."""
+        keep = set(vertices)
+        return sum(1 for inst in self.instances if all(v in keep for v in inst))
+
+    def density_of(self, vertices: Iterable[Vertex]):
+        """Return the exact instance density of a vertex set as a Fraction."""
+        from fractions import Fraction
+
+        keep = set(vertices)
+        if not keep:
+            raise AlgorithmError("density of the empty vertex set is undefined")
+        return Fraction(self.count_within(keep), len(keep))
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self):
+        return iter(self.instances)

@@ -1,0 +1,75 @@
+"""Initial h-clique compact-number bounds (Algorithm 1, ``InitializeBd``).
+
+Proposition 3 of the paper relates the compact number ``phi_h(u)`` to the
+(k, psi_h)-core number ``core_G(u, psi_h)``:
+
+* lower bound:  ``phi_h(u) >= core_G(u, psi_h) / h``
+* upper bound:  ``phi_h(u) <= core_G(u, psi_h)``
+
+Bounds are kept as exact :class:`fractions.Fraction` objects; later stages
+may replace them with (float) values coming from the Frank–Wolfe iterate, so
+all consumers treat them as real numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..cores.clique_core import clique_core_numbers
+from ..graph.graph import Vertex
+from ..instances import InstanceSet
+
+Number = float | Fraction | int
+
+
+@dataclass
+class CompactBounds:
+    """Per-vertex lower/upper bounds on the h-clique compact number."""
+
+    lower: Dict[Vertex, Number] = field(default_factory=dict)
+    upper: Dict[Vertex, Number] = field(default_factory=dict)
+
+    def lower_of(self, v: Vertex) -> Number:
+        """Lower bound of ``v`` (0 when unknown)."""
+        return self.lower.get(v, 0)
+
+    def upper_of(self, v: Vertex) -> Number:
+        """Upper bound of ``v`` (+inf when unknown)."""
+        return self.upper.get(v, float("inf"))
+
+    def tighten_lower(self, v: Vertex, value: Number) -> None:
+        """Raise the lower bound of ``v`` to ``value`` if it improves it."""
+        if value > self.lower.get(v, 0):
+            self.lower[v] = value
+
+    def tighten_upper(self, v: Vertex, value: Number) -> None:
+        """Lower the upper bound of ``v`` to ``value`` if it improves it."""
+        current = self.upper.get(v)
+        if current is None or value < current:
+            self.upper[v] = value
+
+    def copy(self) -> "CompactBounds":
+        """Return an independent copy of the bounds."""
+        return CompactBounds(lower=dict(self.lower), upper=dict(self.upper))
+
+
+def initialize_bounds(
+    instances: InstanceSet,
+    vertices: Optional[Iterable[Vertex]] = None,
+) -> Tuple[CompactBounds, Dict[Vertex, int]]:
+    """Compute the initial bounds of Algorithm 1.
+
+    Returns the bounds object and the raw clique-core numbers (which the
+    pruning stage reuses).
+    """
+    universe = set(vertices) if vertices is not None else instances.vertices()
+    core = clique_core_numbers(instances, universe)
+    bounds = CompactBounds()
+    h = instances.h
+    for v in universe:
+        c = core.get(v, 0)
+        bounds.lower[v] = Fraction(c, h)
+        bounds.upper[v] = Fraction(c)
+    return bounds, core

@@ -1,0 +1,136 @@
+"""Stable h-clique group derivation (Algorithm 2, ``DeriveSG``).
+
+A *stable h-clique group* (Definition 6) with respect to a feasible solution
+``(alpha, r)`` of CP(G, h) is a vertex group ``S`` such that
+
+1. every other vertex's ``r`` lies strictly outside ``[min_S r, max_S r]``,
+2. vertices above the group send no weight into instances shared with it,
+3. vertices below the group receive no weight from instances shared with it.
+
+Theorem 4 then sandwiches the true compact number of every member between
+``min_S r`` and ``max_S r``, which is how the bounds get tightened.  The
+groups are the LhCDS candidates that the pruning and verification stages
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..graph.graph import Vertex
+from ..instances import InstanceSet
+from .bounds import CompactBounds
+from .decomposition import TentativeDecomposition
+from .seq_kclist import WeightState
+
+#: Slack applied to floating-point comparisons so that rounding noise can
+#: only make the algorithm more conservative (merge more / prune less).
+FLOAT_SLACK = 1e-9
+
+
+@dataclass
+class StableGroup:
+    """One stable group: its vertices and the r-value range they span."""
+
+    vertices: List[Vertex]
+    r_min: float
+    r_max: float
+    #: Whether Definition 6 was actually satisfied.  A trailing accumulation
+    #: that never stabilised is still emitted as a candidate, but Theorem 4
+    #: does not apply to it, so it must not be used to tighten bounds.
+    stable: bool = True
+
+
+def _group_is_stable(
+    group: List[Vertex],
+    universe: Sequence[Vertex],
+    state: WeightState,
+) -> bool:
+    """Check Definition 6 for ``group`` against the whole universe."""
+    if not group:
+        return False
+    members = set(group)
+    r = state.received
+    r_min = min(r(v) for v in group)
+    r_max = max(r(v) for v in group)
+
+    above: set = set()
+    below: set = set()
+    for v in universe:
+        if v in members:
+            continue
+        rv = r(v)
+        if rv > r_max + FLOAT_SLACK:
+            above.add(v)
+        elif rv < r_min - FLOAT_SLACK:
+            below.add(v)
+        else:
+            # Condition 1 violated: r(v) falls inside the group's range.
+            return False
+
+    instances = state.instances
+    alpha = state.alpha
+    checked: set = set()
+    for u in group:
+        for idx in instances.instances_containing(u):
+            if idx in checked:
+                continue
+            checked.add(idx)
+            inst = instances.instances[idx]
+            if not any(v in members for v in inst):
+                continue
+            for j, v in enumerate(inst):
+                if v in above and alpha[idx][j] > FLOAT_SLACK:
+                    # Condition 2 violated.
+                    return False
+            if any(v in below for v in inst):
+                for j, v in enumerate(inst):
+                    if v in members and alpha[idx][j] > FLOAT_SLACK:
+                        # Condition 3 violated.
+                        return False
+    return True
+
+
+def derive_stable_groups(
+    decomposition: TentativeDecomposition,
+    state: WeightState,
+    bounds: CompactBounds,
+) -> Tuple[List[StableGroup], CompactBounds]:
+    """Merge tentative subsets into stable groups and tighten the bounds.
+
+    Follows Algorithm 2 lines 25-33: subsets are accumulated until the
+    accumulated set satisfies Definition 6; Theorem 4 then updates each
+    member's bounds with the group's ``min r`` / ``max r``.  A trailing
+    accumulation that never becomes stable is still emitted (it is a valid
+    candidate superset; dropping it could lose an LhCDS).
+    """
+    universe: List[Vertex] = list(decomposition.order)
+    groups: List[StableGroup] = []
+    current: List[Vertex] = []
+    for subset in decomposition.subsets:
+        current.extend(subset)
+        if _group_is_stable(current, universe, state):
+            r_values = [state.received(v) for v in current]
+            groups.append(
+                StableGroup(vertices=list(current), r_min=min(r_values), r_max=max(r_values))
+            )
+            current = []
+    if current:
+        r_values = [state.received(v) for v in current]
+        groups.append(
+            StableGroup(
+                vertices=list(current),
+                r_min=min(r_values),
+                r_max=max(r_values),
+                stable=False,
+            )
+        )
+
+    for group in groups:
+        if not group.stable:
+            continue
+        for v in group.vertices:
+            bounds.tighten_upper(v, group.r_max + FLOAT_SLACK)
+            bounds.tighten_lower(v, group.r_min - FLOAT_SLACK)
+    return groups, bounds

@@ -1,0 +1,27 @@
+"""Pattern (motif) abstraction and enumerators for the LhxPDS extension."""
+
+from .base import Pattern
+from .clique import CliquePattern, EdgePattern, TrianglePattern
+from .four_vertex import (
+    DiamondPattern,
+    FourLoopPattern,
+    FourPathPattern,
+    TailedTrianglePattern,
+    ThreeStarPattern,
+)
+from .registry import available_patterns, four_vertex_patterns, get_pattern
+
+__all__ = [
+    "Pattern",
+    "CliquePattern",
+    "EdgePattern",
+    "TrianglePattern",
+    "DiamondPattern",
+    "FourLoopPattern",
+    "FourPathPattern",
+    "TailedTrianglePattern",
+    "ThreeStarPattern",
+    "available_patterns",
+    "four_vertex_patterns",
+    "get_pattern",
+]

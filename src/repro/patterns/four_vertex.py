@@ -1,0 +1,145 @@
+"""The six four-vertex patterns of Figure 8.
+
+Each enumerator yields every non-induced embedding of the pattern exactly
+once (up to the pattern's automorphisms), as a tuple of four distinct
+vertices.  The tuple carries the *roles* in a fixed order where that matters
+for readability (e.g. the star centre first), but the IPPV machinery only
+uses vertex membership.
+
+Patterns (paper naming):
+
+* ``3-star``      — a centre adjacent to three leaves (K_{1,3}).
+* ``4-path``      — a simple path on four vertices.
+* ``c3-star``     — the "circled 3-star" / tailed triangle: a triangle plus a
+  pendant vertex attached to one of its corners.
+* ``4-loop``      — a cycle on four vertices (C4).
+* ``2-triangle``  — two triangles sharing an edge (the diamond, K4 minus an
+  edge).
+* ``4-clique``    — K4 (provided by :class:`~repro.patterns.clique.CliquePattern`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterator, Tuple
+
+from ..graph.graph import Graph, Vertex
+from .base import Pattern
+
+
+def _vertex_ranks(graph: Graph) -> Dict[Vertex, int]:
+    """A fixed arbitrary total order over vertices, used to break symmetries."""
+    return {v: i for i, v in enumerate(graph.vertices())}
+
+
+class ThreeStarPattern(Pattern):
+    """A centre vertex with three distinct neighbours (K_{1,3})."""
+
+    name = "3-star"
+    size = 4
+
+    def enumerate(self, graph: Graph) -> Iterator[Tuple[Vertex, ...]]:
+        for centre in graph:
+            nbrs = sorted(graph.neighbors(centre), key=repr)
+            if len(nbrs) < 3:
+                continue
+            for leaves in combinations(nbrs, 3):
+                yield (centre, *leaves)
+
+
+class FourPathPattern(Pattern):
+    """A simple path a-b-c-d on four distinct vertices."""
+
+    name = "4-path"
+    size = 4
+
+    def enumerate(self, graph: Graph) -> Iterator[Tuple[Vertex, ...]]:
+        rank = _vertex_ranks(graph)
+        for b, c in graph.edges():
+            # Fix the orientation of the middle edge once; the path and its
+            # reversal then map to the same (a, d) choice, so each path is
+            # emitted exactly once.
+            if rank[b] > rank[c]:
+                b, c = c, b
+            for a in graph.neighbors(b):
+                if a == c:
+                    continue
+                for d in graph.neighbors(c):
+                    if d == b or d == a:
+                        continue
+                    yield (a, b, c, d)
+
+
+class TailedTrianglePattern(Pattern):
+    """A triangle with a pendant vertex (the paper's "c 3-star")."""
+
+    name = "c3-star"
+    size = 4
+
+    def enumerate(self, graph: Graph) -> Iterator[Tuple[Vertex, ...]]:
+        rank = _vertex_ranks(graph)
+        for u, v in graph.edges():
+            if rank[u] > rank[v]:
+                u, v = v, u
+            common = graph.neighbors(u) & graph.neighbors(v)
+            for w in common:
+                if rank[w] < rank[v]:
+                    # Each triangle {u, v, w} is visited three times (once per
+                    # edge); keep only the visit through its two smallest-rank
+                    # endpoints so the triangle is handled exactly once.
+                    continue
+                triangle = (u, v, w)
+                tri_set = set(triangle)
+                for anchor in triangle:
+                    for tail in graph.neighbors(anchor):
+                        if tail not in tri_set:
+                            yield (anchor, *[x for x in triangle if x != anchor], tail)
+
+
+class FourLoopPattern(Pattern):
+    """A four-cycle a-b-c-d-a (C4)."""
+
+    name = "4-loop"
+    size = 4
+
+    def enumerate(self, graph: Graph) -> Iterator[Tuple[Vertex, ...]]:
+        rank = _vertex_ranks(graph)
+        vertices = sorted(graph.vertices(), key=lambda x: rank[x])
+        for u in vertices:
+            for w in vertices:
+                if rank[w] <= rank[u]:
+                    continue
+                common = [
+                    x
+                    for x in graph.neighbors(u) & graph.neighbors(w)
+                    if x != u and x != w
+                ]
+                common.sort(key=lambda x: rank[x])
+                for i, x in enumerate(common):
+                    for y in common[i + 1:]:
+                        # The cycle u-x-w-y has two diagonal pairs {u, w} and
+                        # {x, y}; emit it only for the diagonal containing the
+                        # smallest-rank vertex of the cycle so each C4 appears
+                        # exactly once.
+                        smallest = min(rank[u], rank[w], rank[x], rank[y])
+                        if smallest in (rank[u], rank[w]):
+                            yield (u, x, w, y)
+
+
+class DiamondPattern(Pattern):
+    """Two triangles sharing an edge (K4 minus an edge)."""
+
+    name = "2-triangle"
+    size = 4
+
+    def enumerate(self, graph: Graph) -> Iterator[Tuple[Vertex, ...]]:
+        rank = _vertex_ranks(graph)
+        for u, v in graph.edges():
+            if rank[u] > rank[v]:
+                u, v = v, u
+            common = sorted(
+                (x for x in graph.neighbors(u) & graph.neighbors(v)),
+                key=lambda x: rank[x],
+            )
+            for x, y in combinations(common, 2):
+                yield (u, v, x, y)

@@ -1,0 +1,66 @@
+"""Name-based pattern registry (used by the CLI and the experiments)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import PatternError
+from .base import Pattern
+from .clique import CliquePattern, EdgePattern, TrianglePattern
+from .four_vertex import (
+    DiamondPattern,
+    FourLoopPattern,
+    FourPathPattern,
+    TailedTrianglePattern,
+    ThreeStarPattern,
+)
+
+_FACTORIES = {
+    "edge": EdgePattern,
+    "triangle": TrianglePattern,
+    "3-star": ThreeStarPattern,
+    "4-path": FourPathPattern,
+    "c3-star": TailedTrianglePattern,
+    "4-loop": FourLoopPattern,
+    "2-triangle": DiamondPattern,
+    "4-clique": lambda: CliquePattern(4),
+    "5-clique": lambda: CliquePattern(5),
+}
+
+
+def available_patterns() -> List[str]:
+    """Return the names of every registered pattern, plus ``"h-clique"``."""
+    return sorted(_FACTORIES) + ["h-clique (any h, via get_pattern('3-clique') etc.)"]
+
+
+def get_pattern(name: str) -> Pattern:
+    """Look up a pattern by name.
+
+    Names of the form ``"<h>-clique"`` are accepted for any positive ``h``;
+    the six four-vertex patterns use the paper's Figure 8 names.
+    """
+    key = name.strip().lower()
+    if key in _FACTORIES:
+        return _FACTORIES[key]()
+    if key.endswith("-clique"):
+        prefix = key[: -len("-clique")]
+        try:
+            h = int(prefix)
+        except ValueError as exc:
+            raise PatternError(f"unknown pattern {name!r}") from exc
+        return CliquePattern(h)
+    raise PatternError(
+        f"unknown pattern {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+    )
+
+
+def four_vertex_patterns() -> Dict[str, Pattern]:
+    """Return the six four-vertex patterns of Figure 8, keyed by name."""
+    return {
+        "3-star": ThreeStarPattern(),
+        "4-path": FourPathPattern(),
+        "c3-star": TailedTrianglePattern(),
+        "4-loop": FourLoopPattern(),
+        "2-triangle": DiamondPattern(),
+        "4-clique": CliquePattern(4),
+    }

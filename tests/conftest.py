@@ -1,0 +1,61 @@
+"""Shared fixtures: small graphs with known LhCDS structure."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import Graph, complete_graph, union_graph
+from repro.datasets import figure2_like_graph
+
+
+@pytest.fixture
+def k5() -> Graph:
+    """The complete graph on 5 vertices."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def two_cliques() -> Graph:
+    """A K5 and a K4 joined by a 2-hop path (two LhCDSes for h=3)."""
+    g = complete_graph(5)
+    for u, v in [(10, 11), (10, 12), (10, 13), (11, 12), (11, 13), (12, 13)]:
+        g.add_edge(u, v)
+    g.add_edge(4, 20)
+    g.add_edge(20, 10)
+    return g
+
+
+@pytest.fixture
+def figure2() -> Graph:
+    """The Figure-2 style example graph."""
+    return figure2_like_graph()
+
+
+@pytest.fixture
+def triangle_with_tail() -> Graph:
+    """A triangle with a pendant vertex."""
+    return Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    """Deterministic G(n, p) helper used by several test modules."""
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+@pytest.fixture
+def small_random_graphs():
+    """A deterministic family of small random graphs for cross-checks."""
+    graphs = []
+    for seed in range(8):
+        n = 5 + seed % 4
+        p = 0.35 + 0.1 * (seed % 3)
+        graphs.append(random_graph(n, p, seed))
+    return graphs

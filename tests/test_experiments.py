@@ -1,0 +1,122 @@
+"""Integration tests for the experiment harness (fast configurations only)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentResult,
+    figure10_stage_breakdown,
+    figure11_density_scaling,
+    figure12_ldsflow_comparison,
+    figure13_case_study,
+    figure14_greedy_comparison,
+    figure15_memory_usage,
+    figure16_iteration_sweep,
+    figure17_pattern_case_study,
+    figure9_verification_comparison,
+    format_table,
+    measure,
+    run_experiment,
+    speedup,
+    table2_dataset_statistics,
+    table3_ltds_comparison,
+    table4_quality_metrics,
+    table5_clustering_coefficient,
+)
+
+
+class TestHarness:
+    def test_measure_returns_result(self):
+        m = measure(lambda: 21 * 2)
+        assert m.result == 42
+        assert m.seconds >= 0
+        assert m.peak_kib == 0
+
+    def test_measure_tracks_memory(self):
+        m = measure(lambda: [0] * 100000, track_memory=True)
+        assert m.peak_kib > 0
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        assert "T" in text and "bb" in text and "2.5000" in text
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult("X", ["c1", "c2"], [[1, 2]], notes="note")
+        assert result.as_dicts() == [{"c1": 1, "c2": 2}]
+        assert "note" in result.render()
+
+    def test_run_experiment_unknown_name(self):
+        with pytest.raises(ReproError):
+            run_experiment("figure99")
+
+
+class TestExperimentDrivers:
+    def test_table2(self):
+        result = table2_dataset_statistics(datasets=("HA", "GQ"))
+        assert len(result.rows) == 2
+        assert all(row[2] > 0 and row[4] > 0 for row in result.rows)
+
+    def test_figure9_fast_not_slower_overall(self):
+        result = figure9_verification_comparison(
+            datasets=("HA",), h_values=(3,), k_values=(5,)
+        )
+        rows = result.as_dicts()
+        assert rows
+        total_fast = sum(r["fast (s)"] for r in rows)
+        total_basic = sum(r["basic (s)"] for r in rows)
+        assert total_fast <= total_basic * 1.5
+
+    def test_figure10_breakdown_sums_to_less_than_total(self):
+        result = figure10_stage_breakdown(datasets=("HA",), k=5)
+        for row in result.as_dicts():
+            parts = row["seq_kclist"] + row["decomp"] + row["prune"] + row["verification"]
+            assert parts <= row["total"] + 1e-6
+
+    def test_figure11_density_rows(self):
+        result = figure11_density_scaling(datasets=("AM",), fractions=(0.4, 1.0))
+        rows = result.as_dicts()
+        assert rows[0]["|E|"] <= rows[1]["|E|"]
+
+    def test_figure12_and_table3_report_speedups(self):
+        fig12 = figure12_ldsflow_comparison(datasets=("HA",), k=2)
+        assert fig12.rows[0][3] > 0
+        table3 = table3_ltds_comparison(datasets=("HA",), k=2)
+        assert table3.rows[0][3] > 0
+
+    def test_table4_and_table5_quality(self):
+        t4 = table4_quality_metrics(datasets=("HA",), h_values=(2, 3), k=3)
+        assert len(t4.rows) == 2
+        t5 = table5_clustering_coefficient(datasets=("HA",), h_values=(2, 3), k=3)
+        assert len(t5.rows) == 2
+
+    def test_figure13_case_study(self):
+        result = figure13_case_study(h_values=(3,))
+        assert result.rows
+        assert all(row[2] > 0 for row in result.rows)
+
+    def test_figure14_greedy(self):
+        result = figure14_greedy_comparison(datasets=("HA",), h_values=(3,), k=2)
+        algorithms = {row[2] for row in result.rows}
+        assert algorithms == {"IPPV", "Greedy"}
+
+    def test_figure15_memory(self):
+        result = figure15_memory_usage(datasets=("HA",), k=2)
+        assert result.rows[0][1] > 0
+        assert result.rows[0][2] > 0
+
+    def test_figure16_iterations(self):
+        result = figure16_iteration_sweep(datasets=("HA",), t_values=(5, 20), k=2)
+        assert len(result.rows) == 2
+
+    def test_figure17_patterns(self):
+        result = figure17_pattern_case_study(k=1)
+        patterns = {row[0] for row in result.rows}
+        assert {"3-star", "4-path", "c3-star", "4-loop", "2-triangle", "4-clique"} <= patterns
+
+    def test_run_experiment_by_name(self):
+        result = run_experiment("table2")
+        assert isinstance(result, ExperimentResult)

@@ -1,0 +1,261 @@
+"""Tests for the max-flow machinery and the exact/greedy densest subgraph code."""
+
+from fractions import Fraction
+from itertools import combinations
+
+import pytest
+
+from repro.cliques import clique_instances
+from repro.densest import greedy_densest_subset, greedy_peel_order, maximal_densest_subset
+from repro.densest.exact import densest_subgraph_density
+from repro.errors import AlgorithmError, FlowError
+from repro.flow import (
+    SINK,
+    SOURCE,
+    FractionalArcCollector,
+    MaxFlowNetwork,
+    build_compact_network,
+    solve_compact_network,
+)
+from repro.graph import Graph, complete_graph, cycle_graph, union_graph
+from repro.instances import InstanceSet
+
+from conftest import random_graph
+
+
+class TestDinic:
+    def test_simple_path(self):
+        net = MaxFlowNetwork()
+        net.add_edge("s", "a", 5)
+        net.add_edge("a", "t", 3)
+        assert net.solve("s", "t") == 3
+
+    def test_parallel_paths(self):
+        net = MaxFlowNetwork()
+        net.add_edge("s", "a", 4)
+        net.add_edge("s", "b", 4)
+        net.add_edge("a", "t", 3)
+        net.add_edge("b", "t", 5)
+        assert net.solve("s", "t") == 7
+
+    def test_classic_network(self):
+        # Standard textbook example with a crossing edge.
+        net = MaxFlowNetwork()
+        edges = [
+            ("s", "a", 10), ("s", "b", 10), ("a", "b", 2),
+            ("a", "t", 4), ("a", "c", 8), ("b", "c", 9),
+            ("c", "t", 10),
+        ]
+        for u, v, c in edges:
+            net.add_edge(u, v, c)
+        assert net.solve("s", "t") == 14
+
+    def test_min_cut_minimal_side(self):
+        net = MaxFlowNetwork()
+        net.add_edge("s", "a", 1)
+        net.add_edge("a", "t", 100)
+        net.solve("s", "t")
+        assert net.min_cut_source_side("s") == {"s"}
+
+    def test_min_cut_maximal_side(self):
+        net = MaxFlowNetwork()
+        net.add_edge("s", "a", 1)
+        net.add_edge("a", "t", 1)
+        net.solve("s", "t")
+        # Both cuts have value 1; the maximal source side includes "a".
+        assert net.min_cut_source_side("s", maximal=True) == {"s", "a"}
+
+    def test_negative_capacity_rejected(self):
+        net = MaxFlowNetwork()
+        with pytest.raises(FlowError):
+            net.add_edge("a", "b", -1)
+
+    def test_missing_source_raises(self):
+        net = MaxFlowNetwork()
+        net.add_edge("a", "b", 1)
+        with pytest.raises(FlowError):
+            net.max_flow("zzz", "b")
+
+    def test_same_source_sink_raises(self):
+        net = MaxFlowNetwork()
+        net.add_edge("a", "b", 1)
+        with pytest.raises(FlowError):
+            net.max_flow("a", "a")
+
+    def test_zero_capacity_edges(self):
+        net = MaxFlowNetwork()
+        net.add_edge("s", "a", 0)
+        net.add_edge("a", "t", 5)
+        assert net.solve("s", "t") == 0
+
+
+class TestFractionalArcCollector:
+    def test_scaling_to_integers(self):
+        collector = FractionalArcCollector()
+        collector.add("s", "a", Fraction(1, 3))
+        collector.add("a", "t", Fraction(1, 2))
+        net, scale = collector.build()
+        assert scale == 6
+        assert net.solve("s", "t") == 2  # min(1/3, 1/2) * 6
+
+    def test_negative_capacity_rejected(self):
+        collector = FractionalArcCollector()
+        with pytest.raises(FlowError):
+            collector.add("a", "b", Fraction(-1, 2))
+
+
+def brute_force_max_gain(instances: InstanceSet, vertices, rho: Fraction):
+    """max over subsets A of |Psi(A)| - rho * |A| plus its maximal argmax."""
+    best_value = Fraction(0)
+    best_set = set()
+    vs = list(vertices)
+    for r in range(1, len(vs) + 1):
+        for subset in combinations(vs, r):
+            value = instances.count_within(subset) - rho * r
+            if value > best_value or (value == best_value and len(subset) > len(best_set)):
+                best_value = value
+                best_set = set(subset)
+    return best_value, best_set
+
+
+class TestCompactNetwork:
+    def test_matches_brute_force_maximiser(self):
+        for seed in range(6):
+            g = random_graph(7, 0.5, seed)
+            inst = clique_instances(g, 3)
+            if inst.num_instances == 0:
+                continue
+            rho = Fraction(1, 2)
+            chosen = solve_compact_network(inst, rho, vertices=g.vertices(), maximal=True)
+            value = inst.count_within(chosen) - rho * len(chosen)
+            best_value, best_set = brute_force_max_gain(inst, g.vertices(), rho)
+            assert value == best_value
+            assert chosen == best_set
+
+    def test_zero_rho_selects_everything_covered(self):
+        g = complete_graph(4)
+        inst = clique_instances(g, 3)
+        chosen = solve_compact_network(inst, Fraction(0), vertices=g.vertices())
+        assert chosen == set(g.vertices())
+
+    def test_high_rho_selects_nothing(self):
+        g = complete_graph(4)
+        inst = clique_instances(g, 3)
+        chosen = solve_compact_network(inst, Fraction(100), vertices=g.vertices())
+        assert chosen == set()
+
+    def test_boundary_instances_add_weight(self):
+        g = complete_graph(3)
+        inst = clique_instances(g, 3)
+        boundary = [((0, 1, 99), 2)]
+        net, _ = build_compact_network(
+            inst, Fraction(1, 3), vertices=g.vertices(), boundary=boundary
+        )
+        assert net.num_nodes > 0
+
+    def test_boundary_bad_count_rejected(self):
+        g = complete_graph(3)
+        inst = clique_instances(g, 3)
+        with pytest.raises(FlowError):
+            build_compact_network(
+                inst, Fraction(1, 3), vertices=g.vertices(), boundary=[((0, 1, 2), 0)]
+            )
+
+
+class TestExactDensest:
+    def test_clique_is_densest(self):
+        g = complete_graph(6)
+        inst = clique_instances(g, 3)
+        subset, density = maximal_densest_subset(inst, g.vertices())
+        assert subset == set(range(6))
+        assert density == Fraction(20, 6)
+
+    def test_prefers_denser_component(self):
+        g = union_graph(complete_graph(5), Graph(edges=[(10, 11), (11, 12), (10, 12)]))
+        inst = clique_instances(g, 3)
+        subset, density = maximal_densest_subset(inst, g.vertices())
+        assert subset == set(range(5))
+        assert density == Fraction(2)
+
+    def test_matches_brute_force(self):
+        for seed in range(8):
+            g = random_graph(8, 0.5, seed + 100)
+            inst = clique_instances(g, 3)
+            _, density = maximal_densest_subset(inst, g.vertices())
+            best = Fraction(0)
+            for r in range(1, 9):
+                for subset in combinations(g.vertices(), r):
+                    best = max(best, Fraction(inst.count_within(subset), r))
+            assert density == best
+
+    def test_maximality_of_returned_set(self):
+        # Two disjoint K4s: the maximal densest subgraph is their union.
+        g = union_graph(complete_graph(4))
+        for u, v in combinations(range(10, 14), 2):
+            g.add_edge(u, v)
+        inst = clique_instances(g, 3)
+        subset, density = maximal_densest_subset(inst, g.vertices())
+        assert subset == set(range(4)) | set(range(10, 14))
+        assert density == Fraction(1)
+
+    def test_seeded_marginal_density(self):
+        g = union_graph(complete_graph(5), Graph(edges=[(10, 11), (11, 12), (10, 12)]))
+        inst = clique_instances(g, 3)
+        subset, marginal = maximal_densest_subset(inst, g.vertices(), seed=set(range(5)))
+        assert subset >= set(range(5))
+        assert marginal == Fraction(1, 3)
+
+    def test_seed_validation(self):
+        g = complete_graph(3)
+        inst = clique_instances(g, 3)
+        with pytest.raises(AlgorithmError):
+            maximal_densest_subset(inst, g.vertices(), seed={99})
+        with pytest.raises(AlgorithmError):
+            maximal_densest_subset(inst, g.vertices(), seed={0, 1, 2})
+
+    def test_empty_universe_rejected(self):
+        inst = InstanceSet.from_instances(2, [])
+        with pytest.raises(AlgorithmError):
+            maximal_densest_subset(inst, [])
+
+    def test_density_helper(self):
+        g = complete_graph(4)
+        inst = clique_instances(g, 3)
+        assert densest_subgraph_density(inst, g.vertices()) == Fraction(1)
+
+
+class TestGreedy:
+    def test_peel_order_covers_universe(self):
+        g = complete_graph(5)
+        inst = clique_instances(g, 3)
+        order = greedy_peel_order(inst, g.vertices())
+        assert set(order) == set(range(5))
+
+    def test_greedy_lower_bounds_exact(self):
+        for seed in range(6):
+            g = random_graph(9, 0.4, seed + 50)
+            inst = clique_instances(g, 3)
+            if inst.num_instances == 0:
+                continue
+            _, greedy_density = greedy_densest_subset(inst, g.vertices())
+            _, exact_density = maximal_densest_subset(inst, g.vertices())
+            assert greedy_density <= exact_density
+            assert greedy_density >= exact_density / 3  # 1/h guarantee
+
+    def test_greedy_on_clique_returns_clique(self):
+        g = complete_graph(6)
+        inst = clique_instances(g, 3)
+        subset, density = greedy_densest_subset(inst, g.vertices())
+        assert subset == set(range(6))
+        assert density == Fraction(20, 6)
+
+    def test_greedy_empty_universe_rejected(self):
+        inst = InstanceSet.from_instances(2, [])
+        with pytest.raises(AlgorithmError):
+            greedy_densest_subset(inst, [])
+
+    def test_triangle_free_graph(self):
+        g = cycle_graph(6)
+        inst = clique_instances(g, 3)
+        subset, density = greedy_densest_subset(inst, g.vertices())
+        assert density == 0

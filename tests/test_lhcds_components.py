@@ -1,0 +1,279 @@
+"""Tests for the individual IPPV stages: bounds, SEQ-kClist++, decomposition,
+stable groups, pruning, and the verification primitives."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cliques import clique_instances
+from repro.errors import AlgorithmError
+from repro.graph import Graph, complete_graph, union_graph
+from repro.lhcds import (
+    CompactBounds,
+    compact_closure,
+    derive_compact_subgraphs,
+    derive_stable_groups,
+    initialize_bounds,
+    is_densest,
+    prune_invalid_vertices,
+    seq_kclist_plus_plus,
+    tentative_decomposition,
+    verify_basic,
+    verify_fast,
+)
+from repro.lhcds.exact import exact_compact_numbers
+from repro.lhcds.reference import brute_force_compact_numbers, compactness_of
+
+from conftest import random_graph
+
+
+class TestCompactBounds:
+    def test_defaults(self):
+        bounds = CompactBounds()
+        assert bounds.lower_of("x") == 0
+        assert bounds.upper_of("x") == float("inf")
+
+    def test_tighten_lower_only_improves(self):
+        bounds = CompactBounds()
+        bounds.tighten_lower("v", 2)
+        bounds.tighten_lower("v", 1)
+        assert bounds.lower_of("v") == 2
+
+    def test_tighten_upper_only_improves(self):
+        bounds = CompactBounds()
+        bounds.tighten_upper("v", 5)
+        bounds.tighten_upper("v", 7)
+        assert bounds.upper_of("v") == 5
+
+    def test_copy_is_independent(self):
+        bounds = CompactBounds()
+        bounds.tighten_lower("v", 1)
+        clone = bounds.copy()
+        clone.tighten_lower("v", 9)
+        assert bounds.lower_of("v") == 1
+
+
+class TestInitializeBounds:
+    def test_bounds_sandwich_true_compact_numbers(self, two_cliques):
+        inst = clique_instances(two_cliques, 3)
+        bounds, core = initialize_bounds(inst, two_cliques.vertices())
+        phi = exact_compact_numbers(inst, two_cliques.vertices())
+        for v in two_cliques.vertices():
+            assert bounds.lower_of(v) <= phi[v] <= bounds.upper_of(v)
+
+    def test_core_relation(self, k5):
+        inst = clique_instances(k5, 3)
+        bounds, core = initialize_bounds(inst, k5.vertices())
+        for v in k5.vertices():
+            assert bounds.upper_of(v) == core[v]
+            assert bounds.lower_of(v) == Fraction(core[v], 3)
+
+
+class TestSeqKClist:
+    def test_feasibility_preserved(self, two_cliques):
+        inst = clique_instances(two_cliques, 3)
+        state = seq_kclist_plus_plus(inst, 10, two_cliques.vertices())
+        assert state.check_feasible()
+
+    def test_total_weight_equals_instance_count(self, two_cliques):
+        inst = clique_instances(two_cliques, 3)
+        state = seq_kclist_plus_plus(inst, 15, two_cliques.vertices())
+        assert sum(state.r.values()) == pytest.approx(inst.num_instances)
+
+    def test_zero_iterations_is_uniform(self, k5):
+        inst = clique_instances(k5, 3)
+        state = seq_kclist_plus_plus(inst, 0, k5.vertices())
+        # Every vertex of K5 is in 6 triangles, each contributing 1/3.
+        for v in k5.vertices():
+            assert state.received(v) == pytest.approx(2.0)
+
+    def test_converges_towards_compact_numbers(self, two_cliques):
+        inst = clique_instances(two_cliques, 3)
+        state = seq_kclist_plus_plus(inst, 60, two_cliques.vertices())
+        phi = exact_compact_numbers(inst, two_cliques.vertices())
+        # K5 vertices should be near 2, K4 vertices near 3/4... (approximate).
+        for v in range(5):
+            assert state.received(v) == pytest.approx(float(phi[v]), abs=0.3)
+
+    def test_negative_iterations_rejected(self, k5):
+        inst = clique_instances(k5, 3)
+        with pytest.raises(AlgorithmError):
+            seq_kclist_plus_plus(inst, -1, k5.vertices())
+
+
+class TestTentativeDecomposition:
+    def test_partition_covers_all_vertices(self, two_cliques):
+        inst = clique_instances(two_cliques, 3)
+        state = seq_kclist_plus_plus(inst, 20, two_cliques.vertices())
+        decomposition = tentative_decomposition(state, two_cliques.vertices())
+        flattened = [v for block in decomposition.subsets for v in block]
+        assert sorted(flattened, key=repr) == sorted(two_cliques.vertices(), key=repr)
+
+    def test_weights_stay_feasible_after_redistribution(self, figure2):
+        inst = clique_instances(figure2, 3)
+        state = seq_kclist_plus_plus(inst, 20, figure2.vertices())
+        tentative_decomposition(state, figure2.vertices())
+        assert state.check_feasible()
+
+    def test_first_block_contains_densest_region(self, two_cliques):
+        inst = clique_instances(two_cliques, 3)
+        state = seq_kclist_plus_plus(inst, 30, two_cliques.vertices())
+        decomposition = tentative_decomposition(state, two_cliques.vertices())
+        assert set(decomposition.subsets[0]) >= set(range(5))
+
+
+class TestStableGroups:
+    def test_groups_partition_universe(self, figure2):
+        inst = clique_instances(figure2, 3)
+        bounds, _ = initialize_bounds(inst, figure2.vertices())
+        state = seq_kclist_plus_plus(inst, 20, figure2.vertices())
+        decomposition = tentative_decomposition(state, figure2.vertices())
+        groups, bounds = derive_stable_groups(decomposition, state, bounds)
+        flattened = [v for g in groups for v in g.vertices]
+        assert sorted(flattened, key=repr) == sorted(figure2.vertices(), key=repr)
+
+    def test_bounds_remain_valid_after_tightening(self, figure2):
+        inst = clique_instances(figure2, 3)
+        bounds, _ = initialize_bounds(inst, figure2.vertices())
+        state = seq_kclist_plus_plus(inst, 20, figure2.vertices())
+        decomposition = tentative_decomposition(state, figure2.vertices())
+        _, bounds = derive_stable_groups(decomposition, state, bounds)
+        phi = exact_compact_numbers(inst, figure2.vertices())
+        for v in figure2.vertices():
+            assert bounds.lower_of(v) <= float(phi[v]) + 1e-6
+            assert bounds.upper_of(v) >= float(phi[v]) - 1e-6
+
+    def test_every_lhcds_within_one_stable_group(self, two_cliques):
+        inst = clique_instances(two_cliques, 3)
+        bounds, _ = initialize_bounds(inst, two_cliques.vertices())
+        state = seq_kclist_plus_plus(inst, 20, two_cliques.vertices())
+        decomposition = tentative_decomposition(state, two_cliques.vertices())
+        groups, _ = derive_stable_groups(decomposition, state, bounds)
+        k5 = set(range(5))
+        assert any(k5 <= set(g.vertices) for g in groups)
+
+
+class TestPrune:
+    def test_prune_keeps_lhcds_vertices(self, figure2):
+        inst = clique_instances(figure2, 3)
+        bounds, _ = initialize_bounds(inst, figure2.vertices())
+        survivors = prune_invalid_vertices(figure2, inst, bounds, figure2.vertices())
+        # The two true L3CDSes (S1 and S2) must survive any pruning.
+        assert set(range(12, 18)) <= survivors
+        assert set(range(2, 7)) <= survivors
+
+    def test_prune_never_removes_compactness_witnesses(self, small_random_graphs):
+        for g in small_random_graphs:
+            inst = clique_instances(g, 3)
+            if inst.num_instances == 0:
+                continue
+            bounds, _ = initialize_bounds(inst, g.vertices())
+            survivors = prune_invalid_vertices(g, inst, bounds, g.vertices())
+            phi = exact_compact_numbers(inst, g.vertices())
+            best = max(phi.values())
+            for v, value in phi.items():
+                if value == best and best > 0:
+                    assert v in survivors
+
+
+class TestVerification:
+    def test_is_densest_on_clique(self, k5):
+        inst = clique_instances(k5, 3)
+        assert is_densest(inst, k5.vertices())
+
+    def test_is_densest_rejects_clique_plus_pendant(self):
+        g = complete_graph(5)
+        g.add_edge(4, 99)
+        inst = clique_instances(g, 3)
+        assert not is_densest(inst, g.vertices())
+        assert is_densest(inst, range(5))
+
+    def test_is_densest_empty_rejected(self, k5):
+        inst = clique_instances(k5, 3)
+        with pytest.raises(AlgorithmError):
+            is_densest(inst, [])
+
+    def test_derive_compact_matches_definition(self, small_random_graphs):
+        for g in small_random_graphs[:5]:
+            inst = clique_instances(g, 3)
+            if inst.num_instances == 0:
+                continue
+            phi = exact_compact_numbers(inst, g.vertices())
+            best = max(phi.values())
+            if best == 0:
+                continue
+            region = derive_compact_subgraphs(inst, g.vertices(), best)
+            expected = {v for v, value in phi.items() if value >= best}
+            assert region == expected
+
+    def test_verify_basic_accepts_true_lhcds(self, two_cliques):
+        inst = clique_instances(two_cliques, 3)
+        assert verify_basic(two_cliques, inst, range(5))
+
+    def test_verify_basic_rejects_subset_of_lhcds(self, two_cliques):
+        inst = clique_instances(two_cliques, 3)
+        assert not verify_basic(two_cliques, inst, range(4))
+
+    def test_verify_fast_agrees_with_basic(self, small_random_graphs):
+        for g in small_random_graphs:
+            inst = clique_instances(g, 3)
+            if inst.num_instances == 0:
+                continue
+            bounds, _ = initialize_bounds(inst, g.vertices())
+            phi = exact_compact_numbers(inst, g.vertices())
+            # Check agreement on every self-densest level-set component.
+            values = sorted({v for v in phi.values() if v > 0}, reverse=True)
+            for rho in values:
+                level = {v for v, value in phi.items() if value == rho}
+                from repro.graph import connected_components
+
+                for component in connected_components(g.induced_subgraph(level)):
+                    if not is_densest(inst, component):
+                        continue
+                    fast = verify_fast(g, inst, component, bounds)
+                    basic = verify_basic(g, inst, component)
+                    assert fast == basic
+
+    def test_compact_closure_contains_candidate(self, figure2):
+        inst = clique_instances(figure2, 3)
+        bounds, _ = initialize_bounds(inst, figure2.vertices())
+        closure = compact_closure(figure2, bounds, set(range(2, 7)), Fraction(2))
+        assert set(range(2, 7)) <= closure
+        assert len(closure) < figure2.num_vertices
+
+    def test_verify_fast_short_circuit_true(self):
+        # Isolated clique far from everything: closure == candidate.
+        g = union_graph(complete_graph(5), Graph(edges=[(10, 11)]))
+        inst = clique_instances(g, 3)
+        bounds, _ = initialize_bounds(inst, g.vertices())
+        from repro.lhcds import VerificationStats
+
+        stats = VerificationStats()
+        assert verify_fast(g, inst, range(5), bounds, stats=stats)
+        assert stats.short_circuit_true == 1
+        assert stats.flow_verifications == 0
+
+
+class TestReferenceImplementation:
+    def test_compactness_of_clique(self, k5):
+        inst = clique_instances(k5, 3)
+        assert compactness_of(k5, inst, set(range(5))) == Fraction(2)
+
+    def test_compactness_disconnected_is_zero(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        inst = clique_instances(g, 2)
+        assert compactness_of(g, inst, {0, 1, 2, 3}) == Fraction(0)
+
+    def test_brute_force_compact_number_limit(self):
+        g = complete_graph(17)
+        inst = clique_instances(g, 2)
+        with pytest.raises(AlgorithmError):
+            brute_force_compact_numbers(g, inst)
+
+    def test_exact_matches_brute_force_on_randoms(self, small_random_graphs):
+        for g in small_random_graphs[:4]:
+            inst = clique_instances(g, 3)
+            brute = brute_force_compact_numbers(g, inst)
+            exact = exact_compact_numbers(inst, g.vertices())
+            for v in g.vertices():
+                assert brute[v] == exact.get(v, Fraction(0))

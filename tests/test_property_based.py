@@ -1,0 +1,135 @@
+"""Hypothesis property-based tests on the core data structures and invariants."""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cliques import clique_instances, count_cliques
+from repro.densest import greedy_densest_subset, maximal_densest_subset
+from repro.graph import Graph, connected_components, is_connected
+from repro.lhcds import exact_compact_numbers, find_lhcds
+from repro.lhcds.reference import brute_force_lhcds, compactness_of
+from repro.instances import InstanceSet
+
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 8):
+    """Random simple graphs with up to ``max_vertices`` vertices."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    g = Graph(vertices=range(n))
+    for (u, v), keep in zip(pairs, mask):
+        if keep:
+            g.add_edge(u, v)
+    return g
+
+
+common_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common_settings
+@given(small_graphs())
+def test_clique_counts_are_monotone_in_h(g):
+    """K_{h+1} counts never exceed h-clique counts times anything negative — in
+    particular every (h+1)-clique contains h+1 h-cliques, so counts decrease."""
+    c3 = count_cliques(g, 3)
+    c4 = count_cliques(g, 4)
+    if c4 > 0:
+        assert c3 >= 4  # each K4 contains 4 triangles
+    assert count_cliques(g, 2) == g.num_edges
+
+
+@common_settings
+@given(small_graphs())
+def test_instance_membership_consistency(g):
+    inst = clique_instances(g, 3)
+    total_from_degrees = sum(inst.degree(v) for v in g.vertices())
+    assert total_from_degrees == 3 * inst.num_instances
+
+
+@common_settings
+@given(small_graphs())
+def test_exact_densest_dominates_greedy_and_any_subset(g):
+    inst = clique_instances(g, 3)
+    if inst.num_instances == 0:
+        return
+    subset, density = maximal_densest_subset(inst, g.vertices())
+    assert inst.density_of(subset) == density
+    _, greedy_density = greedy_densest_subset(inst, g.vertices())
+    assert greedy_density <= density
+    # Density of the whole vertex set can never exceed the optimum.
+    assert inst.density_of(g.vertices()) <= density
+
+
+@common_settings
+@given(small_graphs())
+def test_compact_numbers_bound_density_and_cores(g):
+    inst = clique_instances(g, 3)
+    phi = exact_compact_numbers(inst, g.vertices())
+    # Proposition 1: the best compact number equals the max subgraph density.
+    if inst.num_instances:
+        _, best_density = maximal_densest_subset(inst, g.vertices())
+        assert max(phi.values()) == best_density
+    # Compact numbers are bounded by the clique degree of the vertex.
+    for v in g.vertices():
+        assert phi[v] <= inst.degree(v)
+
+
+@common_settings
+@given(small_graphs(max_vertices=7))
+def test_ippv_matches_brute_force(g):
+    inst = clique_instances(g, 3)
+    expected = {(frozenset(s), d) for s, d in brute_force_lhcds(g, inst)}
+    actual = {(frozenset(s.vertices), s.density) for s in find_lhcds(g, h=3).subgraphs}
+    assert actual == expected
+
+
+@common_settings
+@given(small_graphs())
+def test_lhcds_invariants(g):
+    """Every reported LhCDS is connected, self-dense, compact, and disjoint."""
+    inst = clique_instances(g, 3)
+    result = find_lhcds(g, h=3)
+    seen = set()
+    for s in result.subgraphs:
+        vertices = set(s.vertices)
+        assert is_connected(g.induced_subgraph(vertices))
+        assert inst.density_of(vertices) == s.density
+        assert compactness_of(g, inst, vertices) >= s.density
+        assert not (seen & vertices)
+        seen |= vertices
+    densities = result.densities()
+    assert densities == sorted(densities, reverse=True)
+
+
+@common_settings
+@given(small_graphs())
+def test_connected_components_partition(g):
+    comps = connected_components(g)
+    flattened = [v for c in comps for v in c]
+    assert sorted(flattened) == sorted(g.vertices())
+    assert sum(len(c) for c in comps) == g.num_vertices
+
+
+@common_settings
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=20))
+def test_instance_set_restrict_is_idempotent(h, seed):
+    import random
+
+    rng = random.Random(seed)
+    universe = list(range(8))
+    instances = []
+    for _ in range(10):
+        instances.append(tuple(rng.sample(universe, h)))
+    inst = InstanceSet.from_instances(h, instances)
+    subset = set(rng.sample(universe, 5))
+    once = inst.restrict(subset)
+    twice = once.restrict(subset)
+    assert once.instances == twice.instances
+    assert once.num_instances == inst.count_within(subset)
