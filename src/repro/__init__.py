@@ -17,12 +17,13 @@ from __future__ import annotations
 __version__ = "1.0.0"
 
 from .graph import Graph
-from .instances import InstanceSet
+from .instances import InstanceSet, InstanceSetBuilder
 from .patterns import CliquePattern, Pattern, get_pattern
 
 __all__ = [
     "Graph",
     "InstanceSet",
+    "InstanceSetBuilder",
     "CliquePattern",
     "Pattern",
     "get_pattern",

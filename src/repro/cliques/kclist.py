@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Tuple
 from ..errors import AlgorithmError
 from ..graph.graph import Graph, Vertex
 from ..graph.ordering import degeneracy_ordering
-from ..instances import InstanceSet
+from ..instances import InstanceSet, InstanceSetBuilder
 
 
 def enumerate_cliques(graph: Graph, h: int) -> Iterator[Tuple[Vertex, ...]]:
@@ -82,8 +82,14 @@ def list_cliques(graph: Graph, h: int) -> List[Tuple[Vertex, ...]]:
 
 
 def clique_instances(graph: Graph, h: int) -> InstanceSet:
-    """Return the h-cliques of ``graph`` packaged as an :class:`InstanceSet`."""
-    return InstanceSet.from_instances(h, enumerate_cliques(graph, h))
+    """Return the h-cliques of ``graph`` packaged as an :class:`InstanceSet`.
+
+    Cliques stream straight into the indexed builder — the enumerator
+    guarantees arity and distinctness, so no per-instance validation is done.
+    """
+    builder = InstanceSetBuilder(h)
+    builder.extend(enumerate_cliques(graph, h))
+    return builder.build()
 
 
 def count_cliques(graph: Graph, h: int) -> int:

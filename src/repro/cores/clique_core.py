@@ -34,19 +34,14 @@ def clique_core_numbers(
         number 0.  Defaults to the vertices covered by the instances.
     """
     universe: Set[Vertex] = set(vertices) if vertices is not None else instances.vertices()
+    # Only instances fully inside the universe are alive; the indexed
+    # restriction finds them by scanning the universe's incidence lists.
+    alive_instance = [False] * instances.num_instances
     degrees: Dict[Vertex, int] = {v: 0 for v in universe}
-    for v in instances.vertices():
-        if v in degrees:
-            degrees[v] = instances.degree(v)
-
-    alive_instance = [all(v in universe for v in inst) for inst in instances.instances]
-    # Degrees must only count instances fully inside the universe.
-    if vertices is not None:
-        degrees = {v: 0 for v in universe}
-        for idx, inst in enumerate(instances.instances):
-            if alive_instance[idx]:
-                for v in inst:
-                    degrees[v] += 1
+    for idx in instances.indices_within(universe):
+        alive_instance[idx] = True
+        for v in instances.instances[idx]:
+            degrees[v] += 1
 
     heap: List[Tuple[int, int, Vertex]] = []
     counter = 0

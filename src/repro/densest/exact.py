@@ -38,7 +38,8 @@ def _best_response(
     h = instances.h
     collector = FractionalArcCollector()
     total_degree = Fraction(0)
-    degrees = {v: Fraction(instances.degree(v)) for v in universe}
+    raw_degrees = instances.degrees()
+    degrees = {v: Fraction(raw_degrees.get(v, 0)) for v in universe}
     for v in universe:
         total_degree += degrees[v]
     # An arc larger than the sum of every finite capacity acts as infinity.

@@ -28,13 +28,11 @@ def greedy_peel_order(
     """
     universe: Set[Vertex] = set(vertices) if vertices is not None else instances.vertices()
     degrees = {v: 0 for v in universe}
-    alive_instance = []
-    for inst in instances.instances:
-        alive = all(v in universe for v in inst)
-        alive_instance.append(alive)
-        if alive:
-            for v in inst:
-                degrees[v] += 1
+    alive_instance = [False] * instances.num_instances
+    for idx in instances.indices_within(universe):
+        alive_instance[idx] = True
+        for v in instances.instances[idx]:
+            degrees[v] += 1
 
     heap: List[Tuple[int, str, Vertex]] = [(d, repr(v), v) for v, d in degrees.items()]
     heapq.heapify(heap)

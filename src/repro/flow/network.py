@@ -115,7 +115,10 @@ def build_compact_network(
     universe: Set[Vertex] = set(vertices) if vertices is not None else instances.vertices()
 
     # Effective instance degree of each vertex; boundary instances add h/cnt.
-    degrees: Dict[Vertex, Fraction] = {v: Fraction(instances.degree(v)) for v in universe}
+    raw_degrees = instances.degrees()
+    degrees: Dict[Vertex, Fraction] = {
+        v: Fraction(raw_degrees.get(v, 0)) for v in universe
+    }
 
     collector = FractionalArcCollector()
 

@@ -1,4 +1,4 @@
-"""Instance sets: the common currency of the IPPV pipeline.
+"""Indexed instance sets: the common currency of the IPPV pipeline.
 
 An *instance* is one occurrence of the pattern being densified — an h-clique
 for the LhCDS problem, or any other small pattern for the LhxPDS extension
@@ -9,41 +9,181 @@ distribution, decomposition, pruning, flow-based verification) only needs:
 * for each vertex, the indices of the instances containing it,
 * the pattern size ``h``.
 
-Bundling these in :class:`InstanceSet` lets Algorithm 6 (LhCDS) and
-Algorithm 7 (LhxPDS) share one implementation.
+The IPPV driver spends its life *restricting* the global instance set to
+candidate subgraphs (propose, verify, split — Algorithms 2–7 all re-restrict),
+so :class:`InstanceSet` is built around an index instead of a flat list:
+
+* **Vertex interning.**  Every vertex is mapped to a contiguous integer id
+  (``vertex_id`` / ``vertex_at``); arbitrary hashable labels only appear at
+  the API boundary.
+* **Flat instance storage.**  Instances live in one flat id-array of length
+  ``num_instances * h`` (``flat_ids``); instance ``i`` occupies the slice
+  ``[i*h, (i+1)*h)`` in its original vertex order.
+* **CSR incidence.**  A compressed vertex→instance adjacency
+  (``incidence_indptr`` / ``incidence_indices``) lists, for each vertex id,
+  the sorted indices of the instances containing it.
+* **Stamped membership counting.**  :meth:`restrict`, :meth:`count_within`,
+  :meth:`density_of` and :meth:`indices_within` scan only the instances
+  *incident* to the candidate (the union of its members' incidence lists),
+  keeping a per-instance counter of "member vertices inside the candidate";
+  an instance survives iff the counter reaches ``h``.  Epoch stamps avoid
+  re-zeroing the counters between calls, so each query costs
+  ``O(sum of candidate degrees)`` instead of ``O(h * num_instances)``.
+* **LRU restriction cache.**  ``IPPV.run`` re-restricts the same candidates
+  across the propose / verify / split stages, so recent restrictions are
+  memoised keyed by the frozenset of interned candidate ids.
+
+The un-indexed full-scan implementations are kept as
+:meth:`scan_restrict` / :meth:`scan_count_within`: they are the reference
+baseline for the equivalence tests and the micro-benchmark in
+``benchmarks/test_instances_performance.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from array import array
+from collections import OrderedDict
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .errors import AlgorithmError
 from .graph.graph import Vertex
 
 Instance = Tuple[Vertex, ...]
 
+#: Number of recent restrictions memoised per instance set.
+RESTRICT_CACHE_SIZE = 128
 
-@dataclass(frozen=True)
-class InstanceSet:
-    """An immutable collection of pattern instances over a vertex universe.
 
-    Attributes
-    ----------
-    h:
-        Number of vertices per instance (the pattern size).
-    instances:
-        Tuple of instances; each instance is a tuple of ``h`` distinct
-        vertices.  Order inside an instance is irrelevant to the algorithms.
-    membership:
-        Mapping from vertex to the sorted tuple of instance indices that
-        contain it.  Vertices of the host graph that appear in no instance
-        are *not* required to be present.
+class InstanceSetBuilder:
+    """Incremental builder that interns vertices while instances stream in.
+
+    Enumerators that guarantee arity and distinctness (the kClist recursion,
+    the pattern matchers) emit directly into a builder, skipping the
+    per-instance validation of :meth:`InstanceSet.from_instances`.
     """
 
-    h: int
-    instances: Tuple[Instance, ...]
-    membership: Dict[Vertex, Tuple[int, ...]] = field(repr=False)
+    __slots__ = ("h", "_id_of", "_vertex_of", "_flat", "_built")
+
+    def __init__(self, h: int) -> None:
+        if h < 1:
+            raise AlgorithmError(f"pattern size h must be >= 1, got {h}")
+        self.h = h
+        self._id_of: Dict[Vertex, int] = {}
+        self._vertex_of: List[Vertex] = []
+        self._flat = array("q")
+        self._built = False
+
+    def add(self, instance: Sequence[Vertex]) -> None:
+        """Append one instance (trusted: ``h`` distinct vertices)."""
+        if self._built:
+            raise AlgorithmError("builder already consumed by build()")
+        id_of = self._id_of
+        vertex_of = self._vertex_of
+        flat = self._flat
+        for v in instance:
+            vid = id_of.get(v)
+            if vid is None:
+                vid = len(vertex_of)
+                id_of[v] = vid
+                vertex_of.append(v)
+            flat.append(vid)
+
+    def extend(self, instances: Iterable[Sequence[Vertex]]) -> None:
+        """Append a stream of instances."""
+        for inst in instances:
+            self.add(inst)
+
+    def build(self) -> "InstanceSet":
+        """Freeze the accumulated instances into an :class:`InstanceSet`.
+
+        Ownership of the buffers transfers to the result; the builder is
+        spent afterwards and rejects further use.
+        """
+        if self._built:
+            raise AlgorithmError("builder already consumed by build()")
+        self._built = True
+        return InstanceSet(self.h, self._vertex_of, self._id_of, self._flat)
+
+
+class InstanceSet:
+    """An indexed collection of pattern instances over a vertex universe.
+
+    Construct through :meth:`from_instances` (validating) or
+    :class:`InstanceSetBuilder` (trusting); the constructor itself is an
+    internal detail shared by both.
+    """
+
+    __slots__ = (
+        "h",
+        "_vertex_of",
+        "_id_of",
+        "_flat",
+        "_indptr",
+        "_incidence",
+        "_stamp",
+        "_count",
+        "_epoch",
+        "_restrict_cache",
+        "_instances_cache",
+        "_membership_cache",
+    )
+
+    def __init__(
+        self,
+        h: int,
+        vertex_of: List[Vertex],
+        id_of: Dict[Vertex, int],
+        flat: array,
+    ) -> None:
+        if h < 1:
+            raise AlgorithmError(f"pattern size h must be >= 1, got {h}")
+        self.h = h
+        self._vertex_of = vertex_of
+        self._id_of = id_of
+        self._flat = flat
+        # The CSR incidence index and the stamped scratch counters are built
+        # lazily on first incidence-driven query: many restricted sets are
+        # only ever iterated or counted, and skipping index construction for
+        # them keeps `restrict` linear in the surviving instances.
+        self._indptr: Optional[array] = None
+        self._incidence: Optional[array] = None
+        self._stamp: Optional[array] = None
+        self._count: Optional[array] = None
+        self._epoch = 0
+        self._restrict_cache: OrderedDict = OrderedDict()
+        self._instances_cache: Optional[Tuple[Instance, ...]] = None
+        self._membership_cache: Optional[Dict[Vertex, Tuple[int, ...]]] = None
+
+    def _ensure_index(self) -> None:
+        """Build the CSR vertex→instance adjacency and scratch counters."""
+        if self._indptr is not None:
+            return
+        h = self.h
+        flat = self._flat
+        n_vertices = len(self._vertex_of)
+        n_inst = len(flat) // h
+
+        # Filling in instance order keeps every incidence list sorted for free.
+        counts = [0] * n_vertices
+        for vid in flat:
+            counts[vid] += 1
+        indptr = array("q", [0] * (n_vertices + 1))
+        for i in range(n_vertices):
+            indptr[i + 1] = indptr[i] + counts[i]
+        cursor = list(indptr[:n_vertices])
+        incidence = array("q", bytes(8 * len(flat)))
+        pos = 0
+        for idx in range(n_inst):
+            for _ in range(h):
+                vid = flat[pos]
+                incidence[cursor[vid]] = idx
+                cursor[vid] += 1
+                pos += 1
+        self._incidence = incidence
+        self._stamp = array("q", bytes(8 * n_inst))
+        self._count = array("q", bytes(8 * n_inst))
+        self._indptr = indptr
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -53,8 +193,7 @@ class InstanceSet:
         """Build an :class:`InstanceSet`, validating instance arity."""
         if h < 1:
             raise AlgorithmError(f"pattern size h must be >= 1, got {h}")
-        normalised: List[Instance] = []
-        membership: Dict[Vertex, List[int]] = {}
+        builder = InstanceSetBuilder(h)
         for idx, inst in enumerate(instances):
             tup = tuple(inst)
             if len(tup) != h:
@@ -63,11 +202,46 @@ class InstanceSet:
                 )
             if len(set(tup)) != h:
                 raise AlgorithmError(f"instance {idx} has repeated vertices: {tup!r}")
-            normalised.append(tup)
-            for v in tup:
-                membership.setdefault(v, []).append(idx)
-        frozen_membership = {v: tuple(ids) for v, ids in membership.items()}
-        return InstanceSet(h=h, instances=tuple(normalised), membership=frozen_membership)
+            builder.add(tup)
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # id-level accessors (for the numeric kernels)
+    # ------------------------------------------------------------------
+    @property
+    def num_interned(self) -> int:
+        """Number of distinct vertices appearing in at least one instance."""
+        return len(self._vertex_of)
+
+    @property
+    def flat_ids(self) -> array:
+        """Flat id-array of all instances (read-only; do not mutate)."""
+        return self._flat
+
+    @property
+    def incidence_indptr(self) -> array:
+        """CSR row pointers of the vertex→instance adjacency (read-only)."""
+        self._ensure_index()
+        return self._indptr
+
+    @property
+    def incidence_indices(self) -> array:
+        """CSR column indices of the vertex→instance adjacency (read-only)."""
+        self._ensure_index()
+        return self._incidence
+
+    def vertex_id(self, vertex: Vertex) -> Optional[int]:
+        """Return the interned id of ``vertex`` (None if it is in no instance)."""
+        return self._id_of.get(vertex)
+
+    def vertex_at(self, vid: int) -> Vertex:
+        """Return the vertex with interned id ``vid``."""
+        return self._vertex_of[vid]
+
+    def instance_ids(self, idx: int) -> array:
+        """Return the interned vertex ids of instance ``idx`` (in stored order)."""
+        h = self.h
+        return self._flat[idx * h : (idx + 1) * h]
 
     # ------------------------------------------------------------------
     # basic queries
@@ -75,49 +249,215 @@ class InstanceSet:
     @property
     def num_instances(self) -> int:
         """Total number of instances (``|Psi_h(G)|`` in the paper)."""
-        return len(self.instances)
+        return len(self._flat) // self.h
+
+    @property
+    def instances(self) -> Tuple[Instance, ...]:
+        """All instances as vertex tuples (materialised lazily)."""
+        if self._instances_cache is None:
+            h = self.h
+            flat = self._flat
+            vertex_of = self._vertex_of
+            self._instances_cache = tuple(
+                tuple(vertex_of[vid] for vid in flat[i * h : (i + 1) * h])
+                for i in range(self.num_instances)
+            )
+        return self._instances_cache
+
+    @property
+    def membership(self) -> Dict[Vertex, Tuple[int, ...]]:
+        """Mapping vertex -> sorted tuple of containing instance indices."""
+        if self._membership_cache is None:
+            self._ensure_index()
+            indptr = self._indptr
+            incidence = self._incidence
+            self._membership_cache = {
+                v: tuple(incidence[indptr[vid] : indptr[vid + 1]])
+                for vid, v in enumerate(self._vertex_of)
+            }
+        return self._membership_cache
 
     def degree(self, vertex: Vertex) -> int:
         """Return the instance degree of ``vertex`` (``deg_G(v, psi_h)``)."""
-        return len(self.membership.get(vertex, ()))
+        vid = self._id_of.get(vertex)
+        if vid is None:
+            return 0
+        self._ensure_index()
+        return self._indptr[vid + 1] - self._indptr[vid]
 
     def degrees(self) -> Dict[Vertex, int]:
         """Return the instance degree of every vertex that appears somewhere."""
-        return {v: len(ids) for v, ids in self.membership.items()}
+        self._ensure_index()
+        indptr = self._indptr
+        return {
+            v: indptr[vid + 1] - indptr[vid]
+            for vid, v in enumerate(self._vertex_of)
+        }
 
     def vertices(self) -> Set[Vertex]:
         """Return the set of vertices covered by at least one instance."""
-        return set(self.membership)
+        return set(self._vertex_of)
 
     def instances_containing(self, vertex: Vertex) -> Tuple[int, ...]:
         """Return indices of instances that contain ``vertex``."""
-        return self.membership.get(vertex, ())
+        vid = self._id_of.get(vertex)
+        if vid is None:
+            return ()
+        self._ensure_index()
+        return tuple(self._incidence[self._indptr[vid] : self._indptr[vid + 1]])
 
     # ------------------------------------------------------------------
-    # restriction
+    # indexed restriction (the hot path)
     # ------------------------------------------------------------------
-    def restrict(self, vertices: Iterable[Vertex]) -> "InstanceSet":
-        """Return the sub-collection of instances fully inside ``vertices``."""
-        keep = set(vertices)
-        kept = [inst for inst in self.instances if all(v in keep for v in inst)]
-        return InstanceSet.from_instances(self.h, kept)
+    def _keep_ids(self, vertices: Iterable[Vertex]) -> List[int]:
+        """Interned ids of the candidate vertices that appear in any instance."""
+        id_of = self._id_of
+        if isinstance(vertices, (set, frozenset)):
+            keep = vertices
+        else:
+            keep = set(vertices)
+        return [id_of[v] for v in keep if v in id_of]
+
+    def _touched_full(self, keep_ids: Sequence[int]) -> List[int]:
+        """Return sorted indices of instances fully inside the candidate.
+
+        Scans only the instances incident to the candidate: every instance
+        index reachable from a candidate member gets a counter of how many of
+        its ``h`` vertices lie inside; survivors are the ones whose counter
+        reaches ``h`` (equivalently, whose "vertices outside the candidate"
+        count drops to zero).
+        """
+        self._ensure_index()
+        indptr = self._indptr
+        incidence = self._incidence
+        h = self.h
+        if h == 1:
+            # Every incident instance is fully inside a candidate member.
+            full = [
+                idx
+                for vid in keep_ids
+                for idx in incidence[indptr[vid] : indptr[vid + 1]]
+            ]
+            full.sort()
+            return full
+        self._epoch += 1
+        epoch = self._epoch
+        stamp = self._stamp
+        count = self._count
+        full = []
+        for vid in keep_ids:
+            for pos in range(indptr[vid], indptr[vid + 1]):
+                idx = incidence[pos]
+                if stamp[idx] != epoch:
+                    stamp[idx] = epoch
+                    count[idx] = 1
+                else:
+                    count[idx] += 1
+                    if count[idx] == h:
+                        full.append(idx)
+        full.sort()
+        return full
+
+    def indices_within(self, vertices: Iterable[Vertex]) -> List[int]:
+        """Return sorted indices of instances fully contained in ``vertices``."""
+        return self._touched_full(self._keep_ids(vertices))
 
     def count_within(self, vertices: Iterable[Vertex]) -> int:
         """Count instances fully contained in ``vertices`` without copying."""
-        keep = set(vertices)
-        return sum(1 for inst in self.instances if all(v in keep for v in inst))
+        keep_ids = self._keep_ids(vertices)
+        cached = self._restrict_cache.get(frozenset(keep_ids))
+        if cached is not None:
+            return cached.num_instances
+        return len(self._touched_full(keep_ids))
 
-    def density_of(self, vertices: Iterable[Vertex]):
+    def restrict(self, vertices: Iterable[Vertex]) -> "InstanceSet":
+        """Return the sub-collection of instances fully inside ``vertices``.
+
+        Recent restrictions are memoised (LRU) keyed by the candidate's
+        interned-id frozenset, because the IPPV stages repeatedly re-restrict
+        the same candidates.
+        """
+        keep_ids = self._keep_ids(vertices)
+        key = frozenset(keep_ids)
+        cache = self._restrict_cache
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            return cached
+        restricted = self._restrict_from_indices(self._touched_full(keep_ids))
+        cache[key] = restricted
+        if len(cache) > RESTRICT_CACHE_SIZE:
+            cache.popitem(last=False)
+        return restricted
+
+    def _restrict_from_indices(self, kept: Sequence[int]) -> "InstanceSet":
+        """Build a sub-set from surviving instance indices, re-interning ids.
+
+        Uses a positional remap over the parent's id space instead of hashing
+        every vertex again, so construction is linear in the kept instances.
+        """
+        h = self.h
+        flat = self._flat
+        vertex_of = self._vertex_of
+        remap = [-1] * len(vertex_of)
+        new_vertex_of: List[Vertex] = []
+        new_id_of: Dict[Vertex, int] = {}
+        new_flat = array("q")
+        append = new_flat.append
+        for idx in kept:
+            base = idx * h
+            for pos in range(base, base + h):
+                vid = flat[pos]
+                nid = remap[vid]
+                if nid < 0:
+                    nid = len(new_vertex_of)
+                    remap[vid] = nid
+                    v = vertex_of[vid]
+                    new_vertex_of.append(v)
+                    new_id_of[v] = nid
+                append(nid)
+        return InstanceSet(h, new_vertex_of, new_id_of, new_flat)
+
+    def density_of(self, vertices: Iterable[Vertex]) -> Fraction:
         """Return the exact instance density of a vertex set as a Fraction."""
-        from fractions import Fraction
-
         keep = set(vertices)
         if not keep:
             raise AlgorithmError("density of the empty vertex set is undefined")
         return Fraction(self.count_within(keep), len(keep))
 
-    def __len__(self) -> int:
-        return len(self.instances)
+    # ------------------------------------------------------------------
+    # full-scan reference implementations (baseline / cross-checks)
+    # ------------------------------------------------------------------
+    def scan_count_within(self, vertices: Iterable[Vertex]) -> int:
+        """Full-scan baseline of :meth:`count_within` (reference only)."""
+        keep = set(vertices)
+        return sum(1 for inst in self.instances if all(v in keep for v in inst))
 
-    def __iter__(self):
+    def scan_restrict(self, vertices: Iterable[Vertex]) -> "InstanceSet":
+        """Full-scan baseline of :meth:`restrict` (reference only)."""
+        keep = set(vertices)
+        kept = [inst for inst in self.instances if all(v in keep for v in inst)]
+        return InstanceSet.from_instances(self.h, kept)
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_instances
+
+    def __iter__(self) -> Iterator[Instance]:
         return iter(self.instances)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InstanceSet):
+            return NotImplemented
+        return self.h == other.h and self.instances == other.instances
+
+    def __hash__(self) -> int:
+        return hash((self.h, self.instances))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InstanceSet(h={self.h}, instances={self.num_instances}, "
+            f"vertices={self.num_interned})"
+        )

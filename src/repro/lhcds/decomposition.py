@@ -42,11 +42,26 @@ def _prefix_instance_counts(
     instances: InstanceSet, order: List[Vertex]
 ) -> List[int]:
     """``counts[q]`` = number of instances fully inside the first ``q`` vertices."""
-    position = {v: i for i, v in enumerate(order)}
+    # Work over interned ids: one flat pass instead of per-instance tuple
+    # hashing.  position -1 marks interned vertices absent from ``order``.
+    position = [-1] * instances.num_interned
+    for i, v in enumerate(order):
+        vid = instances.vertex_id(v)
+        if vid is not None:
+            position[vid] = i
+    h = instances.h
+    flat = instances.flat_ids
     ends_at = [0] * (len(order) + 1)
-    for inst in instances.instances:
-        if all(v in position for v in inst):
-            last = max(position[v] for v in inst)
+    for base in range(0, len(flat), h):
+        last = -1
+        for j in range(base, base + h):
+            pos = position[flat[j]]
+            if pos < 0:
+                last = -1
+                break
+            if pos > last:
+                last = pos
+        if last >= 0:
             ends_at[last + 1] += 1
     counts = [0] * (len(order) + 1)
     running = 0

@@ -184,13 +184,17 @@ class IPPV:
 
         found: List[DenseSubgraph] = []
         output_vertices: Set[Vertex] = set()
+        # Min-heap of the k best verified densities found so far: its root is
+        # the running k-th best, so the early-stop check is O(1) per pop
+        # instead of re-sorting every found density.
+        topk_densities: List[Fraction] = []
         examined = 0
         refinements = 0
         exact_splits = 0
 
         while heap:
             if k is not None and len(found) >= k:
-                kth = sorted((s.density for s in found), reverse=True)[k - 1]
+                kth = topk_densities[0]
                 best_remaining = -heap[0][0]
                 if float(kth) >= best_remaining - 1e-12:
                     break
@@ -204,8 +208,8 @@ class IPPV:
                     counter = self._push(heap, counter, frozenset(component), depth)
                 continue
             candidate = frozenset(components[0])
-            local = instances.restrict(candidate)
-            if local.num_instances == 0:
+            local_count = instances.count_within(candidate)
+            if local_count == 0:
                 continue
             examined += 1
 
@@ -216,7 +220,7 @@ class IPPV:
                 verified = self._verify(candidate, bounds, output_vertices, verification_stats)
                 timings.verification += time.perf_counter() - tick
                 if verified:
-                    density = Fraction(local.num_instances, len(candidate))
+                    density = Fraction(local_count, len(candidate))
                     found.append(
                         DenseSubgraph(
                             vertices=candidate,
@@ -226,6 +230,10 @@ class IPPV:
                         )
                     )
                     output_vertices |= set(candidate)
+                    if k is not None:
+                        heapq.heappush(topk_densities, density)
+                        if len(topk_densities) > k:
+                            heapq.heappop(topk_densities)
                 # A self-densest candidate that is not maximal-compact cannot
                 # contain any LhCDS, so it is safe to discard it either way.
                 continue
@@ -245,6 +253,7 @@ class IPPV:
                     continue
             # Exact fallback: split along the maximal densest subgraph.
             exact_splits += 1
+            local = instances.restrict(candidate)
             dense_side, _ = maximal_densest_subset(local, candidate)
             dense_side = set(dense_side)
             remainder = set(candidate) - dense_side

@@ -34,14 +34,16 @@ def prune_invalid_vertices(
     universe: Set[Vertex] = set(vertices) if vertices is not None else set(graph.vertices())
 
     # Rule 1: a neighbour with a strictly larger lower bound invalidates v.
+    # Walk the universe's own adjacency (each edge seen from both endpoints)
+    # instead of scanning every edge of the host graph.
     invalid: Set[Vertex] = set()
-    for u, v in graph.edges():
-        if u not in universe or v not in universe:
+    for u in universe:
+        if not graph.has_vertex(u):
             continue
-        if bounds.upper_of(v) < bounds.lower_of(u) - FLOAT_SLACK:
-            invalid.add(v)
-        if bounds.upper_of(u) < bounds.lower_of(v) - FLOAT_SLACK:
-            invalid.add(u)
+        lower_u = bounds.lower_of(u) - FLOAT_SLACK
+        for v in graph.neighbors(u):
+            if v in universe and bounds.upper_of(v) < lower_u:
+                invalid.add(v)
 
     survivors = universe - invalid
 

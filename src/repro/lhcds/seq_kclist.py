@@ -77,14 +77,20 @@ def seq_kclist_plus_plus(
     if iterations < 0:
         raise AlgorithmError(f"iterations must be non-negative, got {iterations}")
     h = instances.h
-    alpha: List[List[float]] = [[1.0 / h] * h for _ in instances.instances]
-    r: Dict[Vertex, float] = {}
-    universe = set(vertices) if vertices is not None else instances.vertices()
-    for v in universe:
-        r[v] = 0.0
-    for inst in instances.instances:
-        for v in inst:
-            r[v] = r.get(v, 0.0) + 1.0 / h
+    n_inst = instances.num_instances
+    flat = instances.flat_ids
+    n_vertices = instances.num_interned
+    alpha: List[List[float]] = [[1.0 / h] * h for _ in range(n_inst)]
+
+    # The whole iteration runs over interned integer ids; the vertex-keyed
+    # ``r`` dict is only materialised at the end.  Ties in the poorest-vertex
+    # selection break on the vertex repr, exactly as the instance-tuple
+    # formulation did.
+    r_of: List[float] = [0.0] * n_vertices
+    init = 1.0 / h
+    for vid in flat:
+        r_of[vid] += init
+    repr_of: List[str] = [repr(instances.vertex_at(vid)) for vid in range(n_vertices)]
 
     for t in range(1, iterations + 1):
         gamma = 1.0 / (t + 1)
@@ -92,13 +98,27 @@ def seq_kclist_plus_plus(
         for row in alpha:
             for j in range(h):
                 row[j] *= shrink
-        for v in r:
-            r[v] *= shrink
-        for i, inst in enumerate(instances.instances):
+        for vid in range(n_vertices):
+            r_of[vid] *= shrink
+        base = 0
+        for i in range(n_inst):
             # Give the iteration's mass to the currently poorest vertex.
-            v_min = min(inst, key=lambda v: (r.get(v, 0.0), repr(v)))
-            j_min = inst.index(v_min)
+            j_min = 0
+            vid = flat[base]
+            best = (r_of[vid], repr_of[vid])
+            for j in range(1, h):
+                vid = flat[base + j]
+                key = (r_of[vid], repr_of[vid])
+                if key < best:
+                    best = key
+                    j_min = j
             alpha[i][j_min] += gamma
-            r[v_min] = r.get(v_min, 0.0) + gamma
+            vid_min = flat[base + j_min]
+            r_of[vid_min] += gamma
+            base += h
 
+    universe = set(vertices) if vertices is not None else instances.vertices()
+    r: Dict[Vertex, float] = {v: 0.0 for v in universe}
+    for vid in range(n_vertices):
+        r[instances.vertex_at(vid)] = r_of[vid]
     return WeightState(instances=instances, alpha=alpha, r=r)

@@ -69,24 +69,37 @@ def _group_is_stable(
             # Condition 1 violated: r(v) falls inside the group's range.
             return False
 
+    # Conditions 2 and 3 only involve instances incident to the group, so the
+    # scan walks the CSR incidence lists over interned ids.
     instances = state.instances
     alpha = state.alpha
+    h = instances.h
+    flat = instances.flat_ids
+    indptr = instances.incidence_indptr
+    incidence = instances.incidence_indices
+    above_ids = {vid for v in above if (vid := instances.vertex_id(v)) is not None}
+    below_ids = {vid for v in below if (vid := instances.vertex_id(v)) is not None}
+    member_ids = {vid for v in members if (vid := instances.vertex_id(v)) is not None}
     checked: set = set()
     for u in group:
-        for idx in instances.instances_containing(u):
+        uid = instances.vertex_id(u)
+        if uid is None:
+            continue
+        for pos in range(indptr[uid], indptr[uid + 1]):
+            idx = incidence[pos]
             if idx in checked:
                 continue
             checked.add(idx)
-            inst = instances.instances[idx]
-            if not any(v in members for v in inst):
-                continue
-            for j, v in enumerate(inst):
-                if v in above and alpha[idx][j] > FLOAT_SLACK:
+            base = idx * h
+            ids = flat[base : base + h]
+            row = alpha[idx]
+            for j, vid in enumerate(ids):
+                if vid in above_ids and row[j] > FLOAT_SLACK:
                     # Condition 2 violated.
                     return False
-            if any(v in below for v in inst):
-                for j, v in enumerate(inst):
-                    if v in members and alpha[idx][j] > FLOAT_SLACK:
+            if any(vid in below_ids for vid in ids):
+                for j, vid in enumerate(ids):
+                    if vid in member_ids and row[j] > FLOAT_SLACK:
                         # Condition 3 violated.
                         return False
     return True

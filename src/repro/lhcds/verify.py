@@ -115,7 +115,7 @@ def verify_basic(
     subset = set(candidate)
     if not subset:
         return False
-    rho = Fraction(instances.restrict(subset).num_instances, len(subset))
+    rho = Fraction(instances.count_within(subset), len(subset))
     region = derive_compact_subgraphs(instances, graph.vertices(), rho)
     if stats is not None:
         stats.flow_verifications += 1
@@ -170,8 +170,7 @@ def verify_fast(
     subset = set(candidate)
     if not subset:
         return False
-    local = instances.restrict(subset)
-    rho = Fraction(local.num_instances, len(subset))
+    rho = Fraction(instances.count_within(subset), len(subset))
 
     # Short-circuit False: a neighbour with a certified larger compact number
     # violates Proposition 4, so the candidate cannot be an LhCDS.  (The

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 from typing import Iterator, Tuple
 
-from ..cliques.kclist import enumerate_cliques
+from ..cliques.kclist import clique_instances, enumerate_cliques
 from ..errors import PatternError
 from ..graph.graph import Graph, Vertex
+from ..instances import InstanceSet
 from .base import Pattern
 
 
@@ -22,6 +23,10 @@ class CliquePattern(Pattern):
     def enumerate(self, graph: Graph) -> Iterator[Tuple[Vertex, ...]]:
         """Yield every h-clique once (delegates to the kClist enumerator)."""
         return enumerate_cliques(graph, self.size)
+
+    def instances(self, graph: Graph) -> InstanceSet:
+        """Stream cliques into the indexed builder (no re-validation)."""
+        return clique_instances(graph, self.size)
 
 
 class EdgePattern(CliquePattern):

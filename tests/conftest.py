@@ -1,13 +1,18 @@
-"""Shared fixtures: small graphs with known LhCDS structure."""
+"""Shared fixtures: small graphs with known LhCDS structure.
+
+Plain (non-fixture) helpers live in :mod:`helpers` so test modules can
+import them without touching ``conftest`` (importing ``conftest`` resolves
+ambiguously when several conftest files share ``sys.path``).
+"""
 
 from __future__ import annotations
-
-import random
 
 import pytest
 
 from repro.graph import Graph, complete_graph, union_graph
 from repro.datasets import figure2_like_graph
+
+from helpers import random_graph, small_random_graphs as _small_random_graphs
 
 
 @pytest.fixture
@@ -39,23 +44,7 @@ def triangle_with_tail() -> Graph:
     return Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
 
 
-def random_graph(n: int, p: float, seed: int) -> Graph:
-    """Deterministic G(n, p) helper used by several test modules."""
-    rng = random.Random(seed)
-    g = Graph(vertices=range(n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            if rng.random() < p:
-                g.add_edge(i, j)
-    return g
-
-
 @pytest.fixture
 def small_random_graphs():
     """A deterministic family of small random graphs for cross-checks."""
-    graphs = []
-    for seed in range(8):
-        n = 5 + seed % 4
-        p = 0.35 + 0.1 * (seed % 3)
-        graphs.append(random_graph(n, p, seed))
-    return graphs
+    return _small_random_graphs()

@@ -1,0 +1,28 @@
+"""Importable test helpers (not fixtures).
+
+Test modules previously did ``from conftest import random_graph``, which
+resolves whichever ``conftest.py`` pytest put on ``sys.path`` first — on this
+repo that was ``benchmarks/conftest.py``, breaking collection of every module
+using the helper.  Plain helpers therefore live here, in a module name that
+exists only under ``tests/``; ``tests/conftest.py`` re-exports the fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import gnp_graph
+from repro.graph import Graph
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    """Deterministic G(n, p) helper used by several test modules."""
+    return gnp_graph(n, p, seed=seed)
+
+
+def small_random_graphs():
+    """A deterministic family of small random graphs for cross-checks."""
+    graphs = []
+    for seed in range(8):
+        n = 5 + seed % 4
+        p = 0.35 + 0.1 * (seed % 3)
+        graphs.append(random_graph(n, p, seed))
+    return graphs

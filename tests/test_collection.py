@@ -1,0 +1,34 @@
+"""Regression guard: the whole suite must *collect* without errors.
+
+The seed shipped with ``from conftest import random_graph`` in several test
+modules, which pytest resolved against ``benchmarks/conftest.py`` and failed
+to collect 4 modules.  This test re-runs collection in a subprocess and fails
+if any module errors at import time, so the bug class cannot silently return.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_pytest_collects_with_zero_errors():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    output = result.stdout + result.stderr
+    # pytest exits non-zero (usually 2) when any module fails to collect.
+    assert result.returncode == 0, f"collection failed:\n{output}"
+    assert "errors" not in output.splitlines()[-1], output

@@ -20,7 +20,7 @@ from repro.flow import (
 from repro.graph import Graph, complete_graph, cycle_graph, union_graph
 from repro.instances import InstanceSet
 
-from conftest import random_graph
+from helpers import random_graph
 
 
 class TestDinic:

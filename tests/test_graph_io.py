@@ -1,0 +1,81 @@
+"""Round-trip and parsing tests for :mod:`repro.graph.io`."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph
+from repro.graph.io import (
+    graph_from_edge_string,
+    parse_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestParsing:
+    def test_basic_int_edges(self):
+        g = graph_from_edge_string("0 1\n1 2\n")
+        assert g.num_vertices == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_hash_and_percent_comments_skipped(self):
+        text = "# SNAP style header\n% NetworkRepository style\n0 1\n\n% trailing\n1 2\n"
+        g = graph_from_edge_string(text)
+        assert g.num_edges == 2
+
+    def test_trailing_weight_columns_ignored(self):
+        g = graph_from_edge_string("0 1 3.5\n1 2 0.25 extra\n")
+        assert g.num_edges == 2
+        assert g.has_edge(1, 2)
+
+    def test_string_labels_kept_when_as_int_false(self):
+        g = graph_from_edge_string("a b\nb c\n", as_int=False)
+        assert set(g.vertices()) == {"a", "b", "c"}
+
+    def test_as_int_fallback_to_strings(self):
+        # One non-numeric token makes *every* label stay a string.
+        g = graph_from_edge_string("0 1\n1 x\n")
+        assert set(g.vertices()) == {"0", "1", "x"}
+        assert g.has_edge("1", "x")
+
+    def test_as_int_converts_when_all_numeric(self):
+        g = graph_from_edge_string("10 20\n20 30\n", as_int=True)
+        assert set(g.vertices()) == {10, 20, 30}
+
+    def test_single_token_line_raises(self):
+        with pytest.raises(GraphFormatError):
+            parse_edge_list(["0 1", "justone"])
+
+
+class TestRoundTrip:
+    def test_int_round_trip(self, tmp_path):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back == g
+
+    def test_string_round_trip(self, tmp_path):
+        g = Graph(edges=[("alice", "bob"), ("bob", "carol")])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path, as_int=False)
+        assert back == g
+
+    def test_written_header_is_a_comment(self, tmp_path):
+        g = Graph(edges=[(0, 1)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("#")
+        # Reading back must not choke on the header.
+        assert read_edge_list(path).num_edges == 1
+
+    def test_isolated_vertices_not_round_tripped(self, tmp_path):
+        # Edge lists cannot express isolated vertices; the round trip drops
+        # them, which callers must account for.
+        g = Graph(edges=[(0, 1)], vertices=[7])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert set(back.vertices()) == {0, 1}

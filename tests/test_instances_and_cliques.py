@@ -21,7 +21,7 @@ from repro.errors import AlgorithmError
 from repro.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph, union_graph
 from repro.instances import InstanceSet
 
-from conftest import random_graph
+from helpers import random_graph
 
 
 class TestInstanceSet:

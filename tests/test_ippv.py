@@ -11,7 +11,7 @@ from repro.lhcds import IPPV, IPPVConfig, exact_top_k_lhcds, find_lhcds, find_lh
 from repro.lhcds.reference import brute_force_lhcds
 from repro.patterns import DiamondPattern, FourLoopPattern, get_pattern
 
-from conftest import random_graph
+from helpers import random_graph
 
 
 def as_set(result):

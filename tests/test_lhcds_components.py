@@ -24,7 +24,7 @@ from repro.lhcds import (
 from repro.lhcds.exact import exact_compact_numbers
 from repro.lhcds.reference import brute_force_compact_numbers, compactness_of
 
-from conftest import random_graph
+from helpers import random_graph
 
 
 class TestCompactBounds:
