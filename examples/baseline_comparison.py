@@ -5,6 +5,9 @@ Figure 14: IPPV is faster than the flow-heavy LTDS baseline while returning
 the identical (exact) result, and Greedy returns overlapping/adjacent dense
 regions without the locally-densest guarantee.
 
+All three algorithms run through the same engine — only the ``solver`` name
+changes, so the comparison isolates the solver itself.
+
 Run with::
 
     python examples/baseline_comparison.py
@@ -14,9 +17,8 @@ from __future__ import annotations
 
 import time
 
-from repro.baselines import greedy_topk_cds, ltds
 from repro.datasets import load_dataset
-from repro.lhcds import find_lhcds
+from repro.engine import solve
 
 
 def main() -> None:
@@ -25,14 +27,14 @@ def main() -> None:
     print(f"dataset CA-CondMat (stand-in): {graph.num_vertices} vertices, {graph.num_edges} edges")
 
     start = time.perf_counter()
-    ippv = find_lhcds(graph, h=h, k=k)
+    ippv = solve(graph=graph, pattern=h, k=k, solver="ippv")
     ippv_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    baseline = ltds(graph, k=k)
+    baseline = solve(graph=graph, pattern=h, k=k, solver="ltds")
     ltds_seconds = time.perf_counter() - start
 
-    greedy = greedy_topk_cds(graph, h=h, k=k)
+    greedy = solve(graph=graph, pattern=h, k=k, solver="greedy")
 
     print(f"\nIPPV  (h=3, k={k}): {ippv_seconds:.3f}s")
     for rank, s in enumerate(ippv.subgraphs, start=1):

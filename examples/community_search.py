@@ -15,15 +15,15 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.datasets import harry_potter_graph
+from repro.engine import solve
 from repro.graph import average_clustering_coefficient, edge_density
-from repro.lhcds import find_lhcds
 
 
 def main() -> None:
     graph, faction = harry_potter_graph()
     print(f"character network: {graph.num_vertices} characters, {graph.num_edges} relationships")
 
-    result = find_lhcds(graph, h=3, k=3)
+    result = solve(graph=graph, pattern=3, k=3, solver="ippv")
     for rank, community in enumerate(result.subgraphs, start=1):
         members = community.as_sorted_list()
         factions = Counter(faction[v] for v in members)
@@ -36,7 +36,7 @@ def main() -> None:
 
     # Compare against the plain (h=2) locally densest subgraph: it is less
     # clique-like, which is why the paper argues for h-clique density.
-    lds = find_lhcds(graph, h=2, k=1)
+    lds = solve(graph=graph, pattern=2, k=1, solver="ippv")
     top = lds.subgraphs[0]
     print(
         f"\nfor contrast, the top L2CDS (classic LDS) has edge density "

@@ -1,9 +1,9 @@
 """Locally pattern-densest subgraph discovery (LhxPDS, Section 5 of the paper).
 
-The same IPPV pipeline optimises the density of any small pattern.  This
-example mines the synthetic political-books co-purchase network with each of
-the six four-vertex patterns of Figure 8 and shows how the detected
-communities differ.
+The same engine optimises the density of any small pattern.  This example
+mines the synthetic political-books co-purchase network with each of the six
+four-vertex patterns of Figure 8 and shows how the detected communities
+differ.
 
 Run with::
 
@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.datasets import political_books_graph
-from repro.lhcds import find_lhxpds
+from repro.engine import solve
 from repro.patterns import four_vertex_patterns
 
 
@@ -28,7 +28,7 @@ def main() -> None:
 
     for name, pattern in four_vertex_patterns().items():
         count = pattern.count(graph)
-        result = find_lhxpds(graph, pattern, k=2)
+        result = solve(graph=graph, pattern=pattern, k=2, solver="ippv")
         print(f"\npattern {name!r}: {count} occurrences in the whole graph")
         if not result.subgraphs:
             print("  no locally densest subgraph (pattern too rare)")

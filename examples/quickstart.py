@@ -8,8 +8,8 @@ Run with::
 from __future__ import annotations
 
 from repro.datasets import figure2_like_graph
+from repro.engine import solve
 from repro.graph import Graph
-from repro.lhcds import find_lhcds
 
 
 def main() -> None:
@@ -18,16 +18,18 @@ def main() -> None:
     graph: Graph = figure2_like_graph()
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
-    # 2. Run IPPV.  h is the clique size, k the number of subgraphs to report.
+    # 2. Solve through the engine.  `pattern` is the clique size h (or any
+    #    registered pattern), `k` the number of subgraphs, `solver` one of
+    #    repro.engine.available_solvers().
     for h in (3, 4):
-        result = find_lhcds(graph, h=h, k=2)
+        report = solve(graph=graph, pattern=h, k=2, solver="ippv")
         print(f"\ntop-2 locally {h}-clique densest subgraphs:")
-        for rank, subgraph in enumerate(result.subgraphs, start=1):
+        for rank, subgraph in enumerate(report.subgraphs, start=1):
             print(
                 f"  {rank}. density={float(subgraph.density):.3f} "
                 f"size={subgraph.size} vertices={subgraph.as_sorted_list()}"
             )
-        timings = result.timings
+        timings = report.timings
         print(
             f"  (proposal {timings.seq_kclist + timings.decomposition:.3f}s, "
             f"pruning {timings.prune:.3f}s, verification {timings.verification:.3f}s)"

@@ -4,6 +4,8 @@ Reproduction of "An Efficient and Exact Algorithm for Locally h-Clique
 Densest Subgraph Discovery".  The public API re-exports the most commonly
 used entry points; see the subpackages for the full toolkit:
 
+* :mod:`repro.engine` — unified solver engine (registry, shared
+  preprocessing, component-parallel runtime)
 * :mod:`repro.graph` — graph substrate
 * :mod:`repro.cliques` / :mod:`repro.patterns` — instance enumeration
 * :mod:`repro.lhcds` — the IPPV algorithm and its components

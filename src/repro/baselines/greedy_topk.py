@@ -17,18 +17,30 @@ from ..cliques.kclist import clique_instances
 from ..densest.greedy import greedy_densest_subset
 from ..graph.components import connected_components
 from ..graph.graph import Graph
+from ..instances import InstanceSet
 from ..lhcds.ippv import DenseSubgraph, LhCDSResult, StageTimings
 from ..lhcds.verify import VerificationStats
 
 
-def greedy_topk_cds(graph: Graph, h: int, k: int) -> LhCDSResult:
-    """Return up to ``k`` greedily extracted h-clique dense subgraphs."""
+def greedy_topk_cds(
+    graph: Graph,
+    h: int,
+    k: int,
+    *,
+    instances: Optional[InstanceSet] = None,
+) -> LhCDSResult:
+    """Return up to ``k`` greedily extracted h-clique dense subgraphs.
+
+    ``instances`` may carry pre-enumerated pattern instances (the engine's
+    shared preprocessing); when omitted the h-cliques are enumerated here.
+    """
     timings = StageTimings()
     start = time.perf_counter()
 
-    tick = time.perf_counter()
-    instances = clique_instances(graph, h)
-    timings.enumeration += time.perf_counter() - tick
+    if instances is None:
+        tick = time.perf_counter()
+        instances = clique_instances(graph, h)
+        timings.enumeration += time.perf_counter() - tick
 
     remaining = set(graph.vertices())
     found: List[DenseSubgraph] = []

@@ -26,6 +26,7 @@ from ..cliques.kclist import clique_instances
 from ..densest.exact import maximal_densest_subset
 from ..graph.components import connected_components
 from ..graph.graph import Graph
+from ..instances import InstanceSet
 from ..lhcds.ippv import DenseSubgraph, LhCDSResult, StageTimings
 from ..lhcds.verify import VerificationStats, is_densest, verify_basic
 
@@ -36,6 +37,7 @@ def _topk_via_peeling(
     k: Optional[int],
     *,
     label: str,
+    instances: Optional[InstanceSet] = None,
 ) -> LhCDSResult:
     """Shared skeleton of the LDSflow / LTDS baselines.
 
@@ -48,9 +50,10 @@ def _topk_via_peeling(
     stats = VerificationStats()
     start = time.perf_counter()
 
-    tick = time.perf_counter()
-    instances = clique_instances(graph, h)
-    timings.enumeration += time.perf_counter() - tick
+    if instances is None:
+        tick = time.perf_counter()
+        instances = clique_instances(graph, h)
+        timings.enumeration += time.perf_counter() - tick
 
     remaining = set(graph.vertices())
     found: List[DenseSubgraph] = []
@@ -102,6 +105,11 @@ def _topk_via_peeling(
     )
 
 
-def lds_flow(graph: Graph, k: Optional[int] = None) -> LhCDSResult:
+def lds_flow(
+    graph: Graph,
+    k: Optional[int] = None,
+    *,
+    instances: Optional[InstanceSet] = None,
+) -> LhCDSResult:
     """Top-k locally densest subgraphs (h = 2) via the flow-heavy baseline."""
-    return _topk_via_peeling(graph, 2, k, label="edge (LDSflow)")
+    return _topk_via_peeling(graph, 2, k, label="edge (LDSflow)", instances=instances)

@@ -11,10 +11,16 @@ from __future__ import annotations
 from typing import Optional
 
 from ..graph.graph import Graph
+from ..instances import InstanceSet
 from ..lhcds.ippv import LhCDSResult
 from .ldsflow import _topk_via_peeling
 
 
-def ltds(graph: Graph, k: Optional[int] = None) -> LhCDSResult:
+def ltds(
+    graph: Graph,
+    k: Optional[int] = None,
+    *,
+    instances: Optional[InstanceSet] = None,
+) -> LhCDSResult:
     """Top-k locally triangle densest subgraphs via the flow-heavy baseline."""
-    return _topk_via_peeling(graph, 3, k, label="triangle (LTDS)")
+    return _topk_via_peeling(graph, 3, k, label="triangle (LTDS)", instances=instances)

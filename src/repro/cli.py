@@ -11,6 +11,12 @@ Find the top-5 locally 3-clique densest subgraphs of a dataset or edge list::
     repro-lhcds topk --dataset HA --h 3 --k 5
     repro-lhcds topk --edge-list my_graph.txt --h 4 --k 3
 
+Pick a solver, a pattern, parallel workers, or machine-readable output::
+
+    repro-lhcds topk --dataset HA --solver exact --k 5
+    repro-lhcds topk --dataset PC --pattern 2-triangle --k 3
+    repro-lhcds topk --dataset CM --jobs 4 --json
+
 Reproduce one of the paper's tables or figures::
 
     repro-lhcds experiment figure9
@@ -19,14 +25,17 @@ Reproduce one of the paper's tables or figures::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from .datasets.registry import dataset_abbreviations, dataset_statistics, get_spec, load_dataset
+from .engine import SolveRequest, available_solvers, get_solver, solve
 from .errors import ReproError
 from .experiments.figures import ALL_EXPERIMENTS, run_experiment
 from .graph.io import read_edge_list
-from .lhcds.ippv import find_lhcds
+from .patterns.clique import CliquePattern
+from .patterns.registry import get_pattern
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,7 +50,28 @@ def _build_parser() -> argparse.ArgumentParser:
     source.add_argument("--dataset", help="name or abbreviation of a registry dataset")
     source.add_argument("--edge-list", help="path to a whitespace-separated edge list")
     topk.add_argument("--h", type=int, default=3, help="clique size (default 3)")
+    topk.add_argument(
+        "--pattern",
+        help="pattern name (e.g. 2-triangle, 4-loop); overrides --h",
+    )
     topk.add_argument("--k", type=int, default=5, help="number of subgraphs (default 5)")
+    topk.add_argument(
+        "--solver",
+        choices=available_solvers(),
+        default="ippv",
+        help="which registered solver to run (default ippv)",
+    )
+    topk.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for component-parallel solving (0 = one per CPU)",
+    )
+    topk.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
     topk.add_argument(
         "--verification",
         choices=["fast", "basic"],
@@ -51,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--iterations", type=int, default=20, help="Frank-Wolfe iterations T")
 
     sub.add_parser("datasets", help="list the registered stand-in datasets")
+    sub.add_parser("solvers", help="list the registered solvers")
 
     experiment = sub.add_parser("experiment", help="reproduce a table or figure")
     experiment.add_argument(
@@ -66,23 +97,45 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     else:
         graph = read_edge_list(args.edge_list)
         label = args.edge_list
-    result = find_lhcds(
-        graph,
-        h=args.h,
-        k=args.k,
-        iterations=args.iterations,
-        verification=args.verification,
+    pattern = get_pattern(args.pattern) if args.pattern else CliquePattern(args.h)
+    report = solve(
+        SolveRequest(
+            graph=graph,
+            pattern=pattern,
+            k=args.k,
+            solver=args.solver,
+            jobs=args.jobs,
+            iterations=args.iterations,
+            verification=args.verification,
+        )
     )
-    print(f"# top-{args.k} L{args.h}CDS of {label} "
-          f"({graph.num_vertices} vertices, {graph.num_edges} edges)")
-    for rank, subgraph in enumerate(result.subgraphs, start=1):
+
+    if args.json:
+        payload = {
+            "source": label,
+            "graph": {"vertices": graph.num_vertices, "edges": graph.num_edges},
+            **report.to_json_dict(),
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+
+    print(
+        f"# top-{args.k} {report.pattern_name} densest subgraphs of {label} "
+        f"({graph.num_vertices} vertices, {graph.num_edges} edges) "
+        f"via {report.solver}"
+    )
+    for rank, subgraph in enumerate(report.subgraphs, start=1):
         members = ", ".join(str(v) for v in subgraph.as_sorted_list())
         print(f"{rank}. density={float(subgraph.density):.4f} "
               f"size={subgraph.size} vertices=[{members}]")
-    timings = result.timings
+    timings = report.timings
+    pre = report.preprocessing
     print(f"# total {timings.total:.3f}s "
           f"(propose {timings.seq_kclist + timings.decomposition:.3f}s, "
           f"prune {timings.prune:.3f}s, verify {timings.verification:.3f}s)")
+    print(f"# engine: {pre.num_active_components}/{pre.num_components} components "
+          f"solvable, {pre.num_skipped_components} skipped by bounds, "
+          f"{report.jobs_used} worker(s)")
     return 0
 
 
@@ -97,6 +150,21 @@ def _cmd_datasets() -> int:
     return 0
 
 
+def _cmd_solvers() -> int:
+    for name in available_solvers():
+        spec = get_solver(name)
+        constraints = []
+        if spec.fixed_h is not None:
+            constraints.append(f"h={spec.fixed_h} only")
+        if spec.requires_k:
+            constraints.append("needs --k")
+        if not spec.exact:
+            constraints.append("approximate")
+        suffix = f" [{', '.join(constraints)}]" if constraints else ""
+        print(f"{name:8} {spec.description}{suffix}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (returns a process exit code)."""
     parser = _build_parser()
@@ -106,6 +174,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_topk(args)
         if args.command == "datasets":
             return _cmd_datasets()
+        if args.command == "solvers":
+            return _cmd_solvers()
         if args.command == "experiment":
             print(run_experiment(args.name).render())
             return 0

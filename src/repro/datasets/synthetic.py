@@ -11,7 +11,7 @@ sampling.  All generators are deterministic given a seed.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import DatasetError
 from ..graph.graph import Graph, Vertex

@@ -18,7 +18,6 @@ from fractions import Fraction
 from typing import Iterable, Optional, Set, Tuple
 
 from ..errors import AlgorithmError
-from ..flow.dinic import MaxFlowNetwork
 from ..flow.network import SINK, SOURCE, FractionalArcCollector, instance_node, vertex_node
 from ..graph.graph import Vertex
 from ..instances import InstanceSet

@@ -1,0 +1,42 @@
+"""Unified solver engine: shared preprocessing + component-parallel runtime.
+
+Every solve path in the package — IPPV, the exact decomposition, and the
+Greedy / LDSflow / LTDS baselines — runs through this engine::
+
+    from repro.engine import solve
+
+    report = solve(graph=g, pattern=3, k=5, solver="ippv", jobs=4)
+    for s in report.subgraphs:
+        print(s.density, sorted(s.vertices))
+
+The engine enumerates pattern instances once, splits the graph into
+connected components, bounds each component with the clique-core rules,
+skips components that provably cannot reach the top-k, and solves the rest
+— serially or on a process pool — before merging through a deterministic
+global ordering.  Parallel output is bit-identical to serial output.
+"""
+
+from .preprocess import preprocess
+from .request import (
+    PreparedComponent,
+    PreprocessStats,
+    SolveReport,
+    SolveRequest,
+    merge_key,
+)
+from .runtime import solve
+from .solvers import SolverSpec, available_solvers, get_solver, register_solver
+
+__all__ = [
+    "preprocess",
+    "PreparedComponent",
+    "PreprocessStats",
+    "SolveReport",
+    "SolveRequest",
+    "merge_key",
+    "solve",
+    "SolverSpec",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+]

@@ -1,0 +1,126 @@
+"""Shared preprocessing: enumerate once, split into components, bound each.
+
+Every solve request — regardless of which solver runs — goes through the
+same pipeline exactly once:
+
+1. **Enumeration.**  The pattern's instances are enumerated on the full host
+   graph (the single most expensive shared step; solvers never re-enumerate).
+2. **Component split.**  Pattern instances are connected subgraphs, so every
+   instance — and therefore every reported dense subgraph — lives inside one
+   connected component.  The graph is split with
+   :func:`~repro.graph.components.connected_components` and the instance set
+   is restricted per component with the indexed restriction.
+3. **Clique-core bounds.**  Per component, Algorithm 1's
+   :func:`~repro.lhcds.bounds.initialize_bounds` yields compact-number
+   bounds; the component-level density window ``[c_max / h, c_max]`` follows
+   from Proposition 3 and drives whole-component upper-bound pruning in the
+   runtime (a component whose cap is beaten by >= k other components'
+   guaranteed densities is never solved at all).
+4. **Vertex pruning stats** (opt-in via ``SolveRequest.prune_stats``).
+   Algorithm 3's :func:`~repro.lhcds.prune.prune_invalid_vertices` counts
+   the vertices provably outside every LhCDS.  The pass is diagnostic only,
+   so it is off by default and always skipped for solvers that prune
+   internally (IPPV) — the work is never done twice.
+
+Components containing no instance are dropped: no solver ever reports a
+subgraph with zero instances, so they cannot contribute output.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..graph.components import connected_components
+from ..graph.graph import Graph
+from ..instances import InstanceSet
+from ..lhcds.bounds import initialize_bounds
+from ..lhcds.prune import prune_invalid_vertices
+from .request import PreparedComponent, PreprocessStats, SolveRequest
+
+
+def preprocess(
+    request: SolveRequest,
+    *,
+    prune_stats: bool = False,
+    compute_bounds: bool = True,
+) -> Tuple[List[PreparedComponent], PreprocessStats]:
+    """Run the shared pipeline; return solvable components plus statistics.
+
+    The returned components are ordered by decreasing density upper bound
+    (ties broken by discovery order), which is both the serial solve order
+    and the parallel scheduling order.
+
+    ``compute_bounds=False`` skips the clique-core stage entirely (components
+    carry ``bounds=None`` and zero density windows, and keep their discovery
+    order).  The runtime requests this for solvers that neither consume the
+    bounds nor qualify for bound-based skipping (approximate solvers like
+    Greedy); ``prune_stats`` forces the stage back on, since Algorithm 3
+    starts from the compact numbers.
+    """
+    graph = request.graph
+    stats = PreprocessStats(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    )
+
+    tick = time.perf_counter()
+    instances = request.pattern.instances(graph)
+    stats.enumeration_seconds = time.perf_counter() - tick
+    stats.num_instances = instances.num_instances
+
+    tick = time.perf_counter()
+    components = connected_components(graph)
+    stats.num_components = len(components)
+    active: List[Tuple[int, Graph, InstanceSet]] = []
+    for index, component in enumerate(components):
+        local = instances.restrict(component)
+        if local.num_instances == 0:
+            continue
+        active.append((index, graph.induced_subgraph(component), local))
+    stats.split_seconds = time.perf_counter() - tick
+    stats.num_active_components = len(active)
+
+    h = request.h
+    prepared: List[PreparedComponent] = []
+    if compute_bounds or prune_stats:
+        tick = time.perf_counter()
+        for index, subgraph, local in active:
+            bounds, core = initialize_bounds(local, subgraph.vertices())
+            c_max = max(core.values(), default=0)
+            prepared.append(
+                PreparedComponent(
+                    index=index,
+                    subgraph=subgraph,
+                    instances=local,
+                    bounds=bounds,
+                    lower_bound=Fraction(c_max, h),
+                    upper_bound=Fraction(c_max),
+                )
+            )
+        stats.bounds_seconds = time.perf_counter() - tick
+    else:
+        for index, subgraph, local in active:
+            prepared.append(
+                PreparedComponent(
+                    index=index,
+                    subgraph=subgraph,
+                    instances=local,
+                    bounds=None,
+                    lower_bound=Fraction(0),
+                    upper_bound=Fraction(0),
+                )
+            )
+
+    if prune_stats and request.prune:
+        tick = time.perf_counter()
+        for comp in prepared:
+            survivors = prune_invalid_vertices(
+                comp.subgraph, comp.instances, comp.bounds, comp.subgraph.vertices()
+            )
+            stats.num_prunable_vertices += comp.subgraph.num_vertices - len(survivors)
+        stats.prune_seconds = time.perf_counter() - tick
+
+    prepared.sort(key=lambda c: (-c.upper_bound, c.index))
+    return prepared, stats

@@ -1,0 +1,188 @@
+"""The engine's data model: solve requests, preprocessing stats, reports.
+
+A :class:`SolveRequest` is the one description of "find me dense subgraphs"
+that every registered solver understands; a :class:`SolveReport` is the one
+result type every solver produces.  The report extends
+:class:`~repro.lhcds.ippv.LhCDSResult` (so all existing consumers of solver
+results keep working) with the preprocessing statistics and engine-level
+timings the runtime collects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, FrozenSet, Optional
+
+from ..errors import EngineError
+from ..graph.graph import Graph, Vertex
+from ..instances import InstanceSet
+from ..lhcds.bounds import CompactBounds
+from ..lhcds.ippv import LhCDSResult, subgraph_sort_key
+from ..patterns.base import Pattern
+from ..patterns.clique import CliquePattern
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """Everything a solve needs: graph, pattern, k, solver, and options.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.
+    pattern:
+        A :class:`~repro.patterns.base.Pattern`, or an integer ``h`` meaning
+        the h-clique pattern.
+    k:
+        Number of subgraphs to report (``None`` = all the solver finds).
+    solver:
+        Name of a registered solver (see :func:`repro.engine.available_solvers`).
+    jobs:
+        Worker processes for component-parallel execution.  ``1`` (default)
+        runs serially; ``0`` means "one per CPU".  Output is bit-identical
+        to the serial run for every value.
+    iterations / verification / prune:
+        Solver options (consumed by the solvers that understand them; the
+        names match :class:`~repro.lhcds.ippv.IPPVConfig`).
+    prune_stats:
+        When True, preprocessing additionally runs the Algorithm-3 vertex
+        pruning rules per component to report how many vertices provably
+        sit outside every LhCDS (``PreprocessStats.num_prunable_vertices``).
+        Off by default: the pass is diagnostic only — solvers never consume
+        its result — and costs an iterated clique-core fixpoint per
+        component.
+    """
+
+    graph: Graph
+    pattern: Pattern | int = 3
+    k: Optional[int] = None
+    solver: str = "ippv"
+    jobs: int = 1
+    iterations: int = 20
+    verification: str = "fast"
+    prune: bool = True
+    prune_stats: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.pattern, int):
+            object.__setattr__(self, "pattern", CliquePattern(self.pattern))
+        if self.k is not None and self.k <= 0:
+            raise EngineError(f"k must be positive (or None for all), got {self.k}")
+        if self.jobs < 0:
+            raise EngineError(f"jobs must be >= 0 (0 = one per CPU), got {self.jobs}")
+        if self.verification not in {"fast", "basic"}:
+            raise EngineError(
+                f"verification must be 'fast' or 'basic', got {self.verification!r}"
+            )
+
+    @property
+    def h(self) -> int:
+        """Pattern size (``h`` in the paper's notation)."""
+        return self.pattern.size
+
+    def for_component(self, subgraph: Graph) -> "SolveRequest":
+        """A copy of the request scoped to one component (always serial)."""
+        return dataclasses.replace(self, graph=subgraph, jobs=1)
+
+
+@dataclass
+class PreparedComponent:
+    """One connected component after the shared preprocessing pipeline.
+
+    Solvers receive these instead of the whole graph: the component's induced
+    subgraph, its restriction of the globally enumerated instance set, and the
+    clique-core compact-number bounds — so no solver re-derives any of them.
+    """
+
+    index: int
+    subgraph: Graph
+    instances: InstanceSet
+    #: ``None`` when the runtime skipped the clique-core stage (solvers that
+    #: neither consume bounds nor qualify for bound-based skipping).
+    bounds: Optional[CompactBounds]
+    #: Guaranteed achievable top-1 density (``c_max / h``, Proposition 3).
+    lower_bound: Fraction
+    #: Sound cap on the density of any subgraph inside (``c_max``).
+    upper_bound: Fraction
+
+    @property
+    def vertices(self) -> FrozenSet[Vertex]:
+        return frozenset(self.subgraph.vertices())
+
+
+@dataclass
+class PreprocessStats:
+    """What the shared preprocessing pipeline did and how long it took."""
+
+    num_vertices: int = 0
+    num_edges: int = 0
+    num_instances: int = 0
+    #: All connected components of the host graph.
+    num_components: int = 0
+    #: Components containing at least one pattern instance (the solvable ones).
+    num_active_components: int = 0
+    #: Active components skipped because their core-based density upper bound
+    #: is strictly dominated by >= k other components' guaranteed densities.
+    num_skipped_components: int = 0
+    #: Components the serial runtime never solved because the running k-th
+    #: best density already strictly exceeded their cap (serial runs only;
+    #: the parallel merge discards the same subgraphs, so output matches).
+    num_early_stopped_components: int = 0
+    #: Vertices provably outside every LhCDS (Algorithm 3 pruning rules).
+    num_prunable_vertices: int = 0
+    enumeration_seconds: float = 0.0
+    split_seconds: float = 0.0
+    bounds_seconds: float = 0.0
+    prune_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return the stats as a plain dictionary (JSON-friendly)."""
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class SolveReport(LhCDSResult):
+    """An :class:`LhCDSResult` plus the engine's preprocessing and run info."""
+
+    solver: str = ""
+    pattern_name: str = ""
+    h: int = 0
+    k: Optional[int] = None
+    #: Worker processes requested / actually used (1 = serial).
+    jobs: int = 1
+    jobs_used: int = 1
+    preprocessing: PreprocessStats = field(default_factory=PreprocessStats)
+    #: Wall-clock seconds spent solving components (sum lives in ``timings``).
+    solve_seconds: float = 0.0
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Machine-readable summary (exact fraction strings plus floats)."""
+        return {
+            "solver": self.solver,
+            "pattern": self.pattern_name,
+            "h": self.h,
+            "k": self.k,
+            "jobs": self.jobs_used,
+            "subgraphs": [
+                {
+                    "rank": rank,
+                    "density": str(s.density),
+                    "density_float": float(s.density),
+                    "size": s.size,
+                    "vertices": list(s.as_sorted_list()),
+                }
+                for rank, s in enumerate(self.subgraphs, start=1)
+            ],
+            "timings": self.timings.as_dict(),
+            "preprocessing": self.preprocessing.as_dict(),
+            "candidates_examined": self.candidates_examined,
+        }
+
+
+# Deterministic global ordering of reported subgraphs.  This is the IPPV
+# driver's own output ordering — one shared definition, so merged
+# per-component results are bit-identical to direct solver calls regardless
+# of execution order.
+merge_key = subgraph_sort_key

@@ -1,0 +1,222 @@
+"""Component-parallel execution runtime with a deterministic global merge.
+
+The runtime turns a :class:`SolveRequest` into a :class:`SolveReport`:
+
+1. Validate the request against the solver's :class:`SolverSpec`.
+2. Run the shared preprocessing (enumerate, split, bound — see
+   :mod:`repro.engine.preprocess`).
+3. **Upper-bound component skipping** (exact solvers with finite ``k``): a
+   component whose density cap ``c_max`` is *strictly* below the guaranteed
+   top-1 density of at least ``k`` other components can contribute nothing
+   to the global top-k, so it is never solved.  The decision depends only on
+   the precomputed bounds — never on execution order — which keeps parallel
+   runs bit-identical to serial ones.
+4. Solve the surviving components: serially, or on a process pool with
+   ``jobs`` workers.  Workers receive only their component (subgraph,
+   restricted instances, bounds), not the host graph.  If the platform
+   cannot spawn processes the runtime silently falls back to the serial
+   path — the output is identical either way.
+5. Merge: concatenate the per-component subgraphs, sort with the same
+   deterministic key the IPPV driver uses, truncate to ``k``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Tuple
+
+from ..errors import EngineError
+from ..lhcds.ippv import DenseSubgraph, LhCDSResult, StageTimings
+from ..lhcds.verify import VerificationStats
+from .preprocess import preprocess
+from .request import PreparedComponent, SolveReport, SolveRequest, merge_key
+from .solvers import SolverSpec, get_solver
+
+
+def _solve_component(
+    args: Tuple[str, PreparedComponent, SolveRequest],
+) -> LhCDSResult:
+    """Worker entry point: solve one component (module-level for pickling)."""
+    solver_name, component, request = args
+    return get_solver(solver_name).solve(component, request)
+
+
+def _select_components(
+    components: List[PreparedComponent],
+    spec: SolverSpec,
+    k: Optional[int],
+) -> Tuple[List[PreparedComponent], int]:
+    """Apply upper-bound component skipping; return (to solve, skipped count).
+
+    Sound only for exact top-k solvers: each component is guaranteed to
+    contribute at least one subgraph of density >= its lower bound, so a
+    component strictly dominated by k others can never reach the top-k, even
+    on density ties (the domination is strict).
+    """
+    if not spec.exact or k is None or len(components) <= 1:
+        return components, 0
+    lowers = sorted((c.lower_bound for c in components), reverse=True)
+    selected: List[PreparedComponent] = []
+    for comp in components:
+        # Components with a guaranteed density strictly above this cap.
+        # A component's own lower bound never exceeds its own upper bound,
+        # so it can never count itself.
+        dominating = 0
+        for value in lowers:
+            if value > comp.upper_bound:
+                dominating += 1
+            else:
+                break
+        if dominating < k:
+            selected.append(comp)
+    return selected, len(components) - len(selected)
+
+
+def _run_serial(
+    spec: SolverSpec,
+    components: List[PreparedComponent],
+    request: SolveRequest,
+) -> Tuple[List[LhCDSResult], int]:
+    """Solve components in decreasing upper-bound order with dynamic early stop.
+
+    For exact solvers with finite ``k``: once the running k-th best verified
+    density *strictly* exceeds the next component's density cap, no later
+    component (they are sorted by decreasing cap) can place in the global
+    top-k — not even on ties — so the remainder is skipped.  The parallel
+    path solves every component instead, but its merge discards exactly the
+    strictly-dominated subgraphs, so the two outputs stay bit-identical.
+
+    Returns the per-component results plus the early-stopped component count.
+    """
+    dynamic = spec.exact and request.k is not None
+    k = request.k
+    results: List[LhCDSResult] = []
+    topk: List = []  # min-heap of the k best densities found so far
+    for position, comp in enumerate(components):
+        if dynamic and len(topk) >= k and topk[0] > comp.upper_bound:
+            return results, len(components) - position
+        result = spec.solve(comp, request.for_component(comp.subgraph))
+        results.append(result)
+        if dynamic:
+            for subgraph in result.subgraphs:
+                heapq.heappush(topk, subgraph.density)
+                if len(topk) > k:
+                    heapq.heappop(topk)
+    return results, 0
+
+
+def _run_parallel(
+    spec: SolverSpec,
+    components: List[PreparedComponent],
+    request: SolveRequest,
+    jobs: int,
+) -> Optional[List[LhCDSResult]]:
+    """Solve components on a process pool; ``None`` means "fall back to serial"."""
+    payloads = [
+        (spec.name, comp, request.for_component(comp.subgraph)) for comp in components
+    ]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # map() yields results in submission order, so downstream
+            # aggregation is deterministic regardless of completion order.
+            return list(pool.map(_solve_component, payloads))
+    except (OSError, PermissionError, BrokenProcessPool, pickle.PicklingError):
+        return None
+
+
+def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
+    """Solve a request through the registered solver and merge the results.
+
+    Accepts either a prebuilt :class:`SolveRequest` or its keyword arguments
+    (``solve(graph=g, pattern=3, k=5, solver="exact")``).
+    """
+    if request is None:
+        request = SolveRequest(**options)
+    elif options:
+        request = dataclasses.replace(request, **options)
+    if request.graph.num_vertices == 0:
+        raise EngineError("cannot solve an empty graph")
+    spec = get_solver(request.solver)
+    spec.validate(request)
+
+    start = time.perf_counter()
+    components, stats = preprocess(
+        request,
+        prune_stats=request.prune_stats and not spec.internal_prune,
+        # The clique-core stage only pays off when something consumes it:
+        # bound-based component skipping (exact solvers) or the solver's own
+        # pruning (IPPV).  Approximate solvers like Greedy skip it.
+        compute_bounds=spec.exact or spec.internal_prune,
+    )
+    components, skipped = _select_components(components, spec, request.k)
+    stats.num_skipped_components = skipped
+
+    jobs = request.jobs if request.jobs > 0 else (os.cpu_count() or 1)
+    jobs = min(jobs, max(len(components), 1))
+
+    tick = time.perf_counter()
+    results: Optional[List[LhCDSResult]] = None
+    jobs_used = 1
+    if jobs > 1 and len(components) > 1:
+        results = _run_parallel(spec, components, request, jobs)
+        if results is not None:
+            jobs_used = jobs
+    if results is None:
+        results, early_stopped = _run_serial(spec, components, request)
+        stats.num_early_stopped_components = early_stopped
+    solve_seconds = time.perf_counter() - tick
+
+    # ------------------------------------------------------------------
+    # deterministic merge
+    # ------------------------------------------------------------------
+    subgraphs: List[DenseSubgraph] = []
+    timings = StageTimings(enumeration=stats.enumeration_seconds)
+    verification = VerificationStats()
+    candidates_examined = 0
+    refinements = 0
+    exact_splits = 0
+    for result in results:
+        subgraphs.extend(result.subgraphs)
+        t = result.timings
+        timings.seq_kclist += t.seq_kclist
+        timings.decomposition += t.decomposition
+        timings.prune += t.prune
+        timings.verification += t.verification
+        timings.enumeration += t.enumeration
+        v = result.verification
+        verification.is_densest_calls += v.is_densest_calls
+        verification.flow_verifications += v.flow_verifications
+        verification.short_circuit_true += v.short_circuit_true
+        verification.short_circuit_false += v.short_circuit_false
+        verification.closure_sizes.extend(v.closure_sizes)
+        candidates_examined += result.candidates_examined
+        refinements += result.refinements
+        exact_splits += result.exact_splits
+
+    subgraphs.sort(key=merge_key)
+    if request.k is not None:
+        subgraphs = subgraphs[: request.k]
+    timings.total = time.perf_counter() - start
+
+    return SolveReport(
+        subgraphs=subgraphs,
+        timings=timings,
+        verification=verification,
+        candidates_examined=candidates_examined,
+        refinements=refinements,
+        exact_splits=exact_splits,
+        solver=spec.name,
+        pattern_name=request.pattern.name,
+        h=request.h,
+        k=request.k,
+        jobs=request.jobs,
+        jobs_used=jobs_used,
+        preprocessing=stats,
+        solve_seconds=solve_seconds,
+    )

@@ -33,3 +33,7 @@ class AlgorithmError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a named dataset is unknown or cannot be generated."""
+
+
+class EngineError(ReproError):
+    """Raised for invalid solve requests (unknown solver, bad h/k/jobs)."""

@@ -13,18 +13,16 @@ driver reproduces.  See EXPERIMENTS.md for the paper-vs-measured summary.
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from ..baselines import greedy_topk_cds, lds_flow, ltds
-from ..cliques.kclist import clique_instances, count_cliques
+from ..cliques.kclist import count_cliques
 from ..datasets.examples import political_books_graph
 from ..datasets.registry import dataset_statistics, get_spec, load_dataset
 from ..datasets.synthetic import sample_edges
+from ..engine import SolveReport, solve
 from ..graph.graph import Graph
 from ..graph.metrics import average_clustering_coefficient, edge_density, subgraph_diameter
-from ..lhcds.ippv import IPPV, IPPVConfig, LhCDSResult
-from ..patterns.clique import CliquePattern
+from ..patterns.base import Pattern
 from ..patterns.registry import four_vertex_patterns
 from .harness import ExperimentResult, measure, speedup
 
@@ -35,14 +33,24 @@ MEDIUM_DATASETS = ("HA", "GQ", "PP", "PC", "WB", "CM", "EP", "EN")
 
 def _run_ippv(
     graph: Graph,
-    h: int,
+    pattern: Pattern | int,
     k: Optional[int],
     *,
     verification: str = "fast",
     iterations: int = 20,
-) -> LhCDSResult:
-    config = IPPVConfig(iterations=iterations, verification=verification)
-    return IPPV(graph, CliquePattern(h), config).run(k)
+) -> SolveReport:
+    return solve(
+        graph=graph,
+        pattern=pattern,
+        k=k,
+        solver="ippv",
+        verification=verification,
+        iterations=iterations,
+    )
+
+
+def _run_baseline(graph: Graph, solver: str, h: int, k: Optional[int]) -> SolveReport:
+    return solve(graph=graph, pattern=h, k=k, solver=solver)
 
 
 # ----------------------------------------------------------------------
@@ -168,7 +176,7 @@ def figure12_ldsflow_comparison(
     for abbr in datasets:
         graph = load_dataset(abbr)
         ippv_m = measure(lambda: _run_ippv(graph, 2, k))
-        lds_m = measure(lambda: lds_flow(graph, k))
+        lds_m = measure(lambda: _run_baseline(graph, "ldsflow", 2, k))
         rows.append(
             [
                 abbr,
@@ -198,7 +206,7 @@ def table3_ltds_comparison(
     for abbr in datasets:
         graph = load_dataset(abbr)
         ippv_m = measure(lambda: _run_ippv(graph, 3, k))
-        ltds_m = measure(lambda: ltds(graph, k))
+        ltds_m = measure(lambda: _run_baseline(graph, "ltds", 3, k))
         rows.append(
             [
                 get_spec(abbr).name,
@@ -327,7 +335,7 @@ def figure14_greedy_comparison(
         graph = load_dataset(abbr)
         for h in h_values:
             ippv_result = _run_ippv(graph, h, k)
-            greedy_result = greedy_topk_cds(graph, h, k)
+            greedy_result = _run_baseline(graph, "greedy", h, k)
             for rank, s in enumerate(ippv_result.subgraphs, start=1):
                 rows.append([abbr, h, "IPPV", rank, len(s.vertices), float(s.density)])
             for rank, s in enumerate(greedy_result.subgraphs, start=1):
@@ -354,7 +362,7 @@ def figure15_memory_usage(
     for abbr in datasets:
         graph = load_dataset(abbr)
         ippv_m = measure(lambda: _run_ippv(graph, h, k), track_memory=True)
-        ltds_m = measure(lambda: ltds(graph, k), track_memory=True)
+        ltds_m = measure(lambda: _run_baseline(graph, "ltds", 3, k), track_memory=True)
         rows.append(
             [abbr, round(ippv_m.peak_kib, 1), round(ltds_m.peak_kib, 1)]
         )
@@ -401,7 +409,7 @@ def figure17_pattern_case_study(k: int = 2) -> ExperimentResult:
     graph, labels = political_books_graph()
     rows = []
     for name, pattern in four_vertex_patterns().items():
-        result = IPPV(graph, pattern, IPPVConfig(iterations=20)).run(k)
+        result = _run_ippv(graph, pattern, k)
         for rank, subgraph in enumerate(result.subgraphs, start=1):
             categories = sorted({labels[v] for v in subgraph.vertices})
             rows.append(

@@ -440,6 +440,17 @@ class InstanceSet:
         return InstanceSet.from_instances(self.h, kept)
 
     # ------------------------------------------------------------------
+    # pickling (process-pool payloads)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Tuple[int, List[Vertex], array]:
+        """Pickle only the canonical storage; caches and indexes rebuild lazily."""
+        return (self.h, self._vertex_of, self._flat)
+
+    def __setstate__(self, state: Tuple[int, List[Vertex], array]) -> None:
+        h, vertex_of, flat = state
+        self.__init__(h, vertex_of, {v: i for i, v in enumerate(vertex_of)}, flat)
+
+    # ------------------------------------------------------------------
     # dunder helpers
     # ------------------------------------------------------------------
     def __len__(self) -> int:

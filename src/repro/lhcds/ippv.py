@@ -29,9 +29,9 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..densest.exact import maximal_densest_subset
 from ..errors import AlgorithmError
@@ -65,6 +65,20 @@ class DenseSubgraph:
     def as_sorted_list(self) -> List[Vertex]:
         """Vertices sorted by their representation (deterministic output)."""
         return sorted(self.vertices, key=repr)
+
+
+def subgraph_sort_key(subgraph: DenseSubgraph) -> tuple:
+    """Deterministic output ordering: density desc, size desc, vertex repr.
+
+    The single definition shared by the IPPV driver and the engine's global
+    merge (``repro.engine.request.merge_key``) — both must sort identically
+    for engine output to stay bit-identical to direct solver calls.
+    """
+    return (
+        -subgraph.density,
+        -len(subgraph.vertices),
+        repr(sorted(subgraph.vertices, key=repr)),
+    )
 
 
 @dataclass
@@ -136,6 +150,9 @@ class IPPV:
         graph: Graph,
         pattern: Pattern | int,
         config: Optional[IPPVConfig] = None,
+        *,
+        instances: Optional[InstanceSet] = None,
+        bounds: Optional[CompactBounds] = None,
     ) -> None:
         if isinstance(pattern, int):
             pattern = CliquePattern(pattern)
@@ -148,6 +165,11 @@ class IPPV:
             raise AlgorithmError(
                 f"verification must be 'fast' or 'basic', got {self.config.verification!r}"
             )
+        # Precomputed pattern instances / compact-number bounds (the engine's
+        # shared preprocessing supplies both so per-solver re-derivation is
+        # skipped); when absent they are computed on the first run().
+        self._precomputed_instances = instances
+        self._precomputed_bounds = bounds
         self._instances: Optional[InstanceSet] = None
         self._bounds: Optional[CompactBounds] = None
 
@@ -162,13 +184,19 @@ class IPPV:
         verification_stats = VerificationStats()
         start = time.perf_counter()
 
-        tick = time.perf_counter()
-        instances = self.pattern.instances(self.graph)
-        timings.enumeration += time.perf_counter() - tick
+        if self._precomputed_instances is not None:
+            instances = self._precomputed_instances
+        else:
+            tick = time.perf_counter()
+            instances = self.pattern.instances(self.graph)
+            timings.enumeration += time.perf_counter() - tick
         self._instances = instances
 
         vertices = self.graph.vertices()
-        bounds, _core = initialize_bounds(instances, vertices)
+        if self._precomputed_bounds is not None:
+            bounds = self._precomputed_bounds
+        else:
+            bounds, _core = initialize_bounds(instances, vertices)
         self._bounds = bounds
 
         groups = self._propose(vertices, bounds, timings)
@@ -265,7 +293,7 @@ class IPPV:
                 ):
                     counter = self._push(heap, counter, frozenset(component), depth)
 
-        found.sort(key=lambda s: (-s.density, -len(s.vertices), repr(sorted(s.vertices, key=repr))))
+        found.sort(key=subgraph_sort_key)
         if k is not None:
             found = found[:k]
         timings.total = time.perf_counter() - start

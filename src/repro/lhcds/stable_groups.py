@@ -16,10 +16,9 @@ consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..graph.graph import Vertex
-from ..instances import InstanceSet
 from .bounds import CompactBounds
 from .decomposition import TentativeDecomposition
 from .seq_kclist import WeightState

@@ -9,10 +9,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graph import Graph, complete_graph, union_graph
+from repro.graph import Graph, complete_graph
 from repro.datasets import figure2_like_graph
 
-from helpers import random_graph, small_random_graphs as _small_random_graphs
+from helpers import small_random_graphs as _small_random_graphs
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ import pytest
 
 from repro.baselines import greedy_topk_cds, lds_flow, ltds
 from repro.cli import main as cli_main
-from repro.cliques import clique_instances, count_cliques
+from repro.cliques import count_cliques
 from repro.datasets import (
     barabasi_albert_graph,
     dataset_abbreviations,
@@ -23,7 +23,6 @@ from repro.datasets import (
     watts_strogatz_graph,
 )
 from repro.errors import DatasetError
-from repro.graph import is_connected
 from repro.lhcds import find_lhcds
 
 

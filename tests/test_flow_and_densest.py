@@ -10,8 +10,6 @@ from repro.densest import greedy_densest_subset, greedy_peel_order, maximal_dens
 from repro.densest.exact import densest_subgraph_density
 from repro.errors import AlgorithmError, FlowError
 from repro.flow import (
-    SINK,
-    SOURCE,
     FractionalArcCollector,
     MaxFlowNetwork,
     build_compact_network,

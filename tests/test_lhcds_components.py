@@ -24,8 +24,6 @@ from repro.lhcds import (
 from repro.lhcds.exact import exact_compact_numbers
 from repro.lhcds.reference import brute_force_compact_numbers, compactness_of
 
-from helpers import random_graph
-
 
 class TestCompactBounds:
     def test_defaults(self):

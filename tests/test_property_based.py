@@ -1,7 +1,5 @@
 """Hypothesis property-based tests on the core data structures and invariants."""
 
-from fractions import Fraction
-
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
