@@ -3,12 +3,26 @@
 Every benchmark regenerates one of the paper's tables or figures by calling
 the corresponding driver in :mod:`repro.experiments.figures` and prints the
 resulting rows, so ``pytest benchmarks/ --benchmark-only`` reproduces the
-whole evaluation section on the stand-in datasets.
+whole evaluation.
+
+Benchmarks additionally record headline timings into a shared session dict
+(the ``bench_metrics`` fixture).  When the ``BENCH_OUT`` environment
+variable names a file, the dict is dumped there as JSON at session end —
+the CI smoke job uploads it as the ``BENCH_4.json`` artifact and compares
+it against the committed baseline with ``scripts/compare_bench.py``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+
 import pytest
+
+#: Bumped with each PR that adds a new benchmark artifact generation.
+BENCH_ID = "BENCH_4"
+BENCH_SCHEMA = "repro-bench/1"
 
 
 def pytest_addoption(parser):
@@ -24,3 +38,29 @@ def pytest_addoption(parser):
 def full_eval(request) -> bool:
     """Whether to run the full (slower) parameter grids."""
     return request.config.getoption("--full-eval")
+
+
+def pytest_configure(config):
+    config._bench_metrics = {}
+
+
+@pytest.fixture(scope="session")
+def bench_metrics(request) -> dict:
+    """Session-wide ``metric name -> seconds`` dict benchmarks write into."""
+    return request.config._bench_metrics
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out = os.environ.get("BENCH_OUT")
+    metrics = getattr(session.config, "_bench_metrics", None)
+    if not out or not metrics:
+        return
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "id": BENCH_ID,
+        "python": platform.python_version(),
+        "metrics": {key: metrics[key] for key in sorted(metrics)},
+    }
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

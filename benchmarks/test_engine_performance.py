@@ -66,7 +66,7 @@ def _signature(subgraphs):
     return [(frozenset(s.vertices), s.density) for s in subgraphs]
 
 
-def test_engine_not_slower_than_direct_calls():
+def test_engine_not_slower_than_direct_calls(bench_metrics):
     graph = _multi_component_graph()
 
     # -- exact: direct call decomposes the whole graph; the engine splits,
@@ -106,6 +106,12 @@ def test_engine_not_slower_than_direct_calls():
           f"speedup {direct_ippv / engine_ippv:.2f}x")
     print(f"exact  engine serial {engine_exact:.4f}s  parallel(4) {parallel_exact:.4f}s")
 
+    bench_metrics["engine.exact_direct_s"] = direct_exact
+    bench_metrics["engine.exact_engine_s"] = engine_exact
+    bench_metrics["engine.exact_parallel4_s"] = parallel_exact
+    bench_metrics["engine.ippv_direct_s"] = direct_ippv
+    bench_metrics["engine.ippv_engine_s"] = engine_ippv
+
     # Same answers before comparing speeds.
     direct_pairs = exact_top_k_lhcds(graph, clique_instances(graph, H), K)
     engine_report = solve(graph=graph, pattern=H, k=K, solver="exact", jobs=1)
@@ -134,3 +140,26 @@ def test_parallel_engine_identical_on_benchmark_graph():
         serial = solve(graph=graph, pattern=H, k=K, solver=solver, jobs=1)
         parallel = solve(graph=graph, pattern=H, k=K, solver=solver, jobs=4)
         assert _signature(serial.subgraphs) == _signature(parallel.subgraphs)
+
+
+def test_executor_backends_identical_and_timed(bench_metrics):
+    """Every execution backend on the benchmark graph: identical output,
+    per-backend wall-clock recorded for the BENCH trajectory.  The sharded
+    exact path rides along (``shards=4``) so the trend data covers it."""
+    graph = _multi_component_graph()
+    reference = solve(graph=graph, pattern=H, k=K, solver="exact", jobs=1, shards=1)
+    timings = {}
+    for executor in ("serial", "thread", "process", "queue"):
+        tick = time.perf_counter()
+        report = solve(
+            graph=graph, pattern=H, k=K, solver="exact",
+            jobs=4, executor=executor, shards=4,
+        )
+        timings[executor] = time.perf_counter() - tick
+        assert _signature(report.subgraphs) == _signature(reference.subgraphs)
+        assert report.executor == executor
+        assert report.fallback_reason is None
+        bench_metrics[f"engine.executor_{executor}_s"] = timings[executor]
+    print()
+    for executor, seconds in timings.items():
+        print(f"exact sharded(4) via {executor:8} {seconds:.4f}s")

@@ -39,7 +39,7 @@ def _time(fn, repeats: int) -> float:
     return time.perf_counter() - start
 
 
-def test_indexed_restriction_beats_full_scan():
+def test_indexed_restriction_beats_full_scan(bench_metrics):
     graph, instances, candidates = _build_figure_scale()
     assert instances.num_instances > 500, "figure-scale graph should be clique-rich"
     repeats = 50
@@ -94,6 +94,12 @@ def test_indexed_restriction_beats_full_scan():
           f"speedup {restrict_speedup:.1f}x")
     print(f"restrict LRU   indexed {cached_s:.4f}s  full-scan {scan_restrict_s:.4f}s  "
           f"speedup {cached_speedup:.1f}x")
+
+    bench_metrics["instances.count_within_indexed_s"] = indexed_s
+    bench_metrics["instances.count_within_scan_s"] = scan_s
+    bench_metrics["instances.restrict_cold_s"] = cold_s
+    bench_metrics["instances.restrict_cached_s"] = cached_s
+    bench_metrics["instances.restrict_scan_s"] = scan_restrict_s
 
     assert count_speedup >= 3.0, f"count_within speedup only {count_speedup:.2f}x"
     assert restrict_speedup >= 3.0, f"restrict speedup only {restrict_speedup:.2f}x"

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated benchmark JSON against the committed baseline.
+
+Usage::
+
+    python scripts/compare_bench.py BENCH_4.json benchmarks/BENCH_baseline.json
+
+Prints one line per metric and warns (GitHub Actions ``::warning::``
+annotations when running in CI) for every timing that regressed by more
+than the threshold (default: 1.25x, i.e. >25% slower).  Exits 0 by
+default — absolute timings on shared runners are noisy, so regressions
+warn rather than fail; pass ``--fail-on-regression`` to turn warnings
+into a non-zero exit for local gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _load_metrics(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    metrics = payload.get("metrics", payload)
+    return {k: v for k, v in metrics.items() if isinstance(v, (int, float))}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated benchmark JSON")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="current/baseline ratio above which a metric counts as a "
+        "regression (default 1.25 = 25%% slower)",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any metric regresses (default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    current = _load_metrics(args.current)
+    baseline = _load_metrics(args.baseline)
+    in_ci = bool(os.environ.get("GITHUB_ACTIONS"))
+
+    regressions = []
+    for name in sorted(set(current) | set(baseline)):
+        if name not in baseline:
+            print(f"  new      {name:40} {current[name]:.4f}s (no baseline)")
+            continue
+        if name not in current:
+            print(f"  missing  {name:40} baseline {baseline[name]:.4f}s, not measured")
+            continue
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else float("inf")
+        marker = "ok" if ratio <= args.threshold else "REGRESSED"
+        print(
+            f"  {marker:8} {name:40} {current[name]:.4f}s "
+            f"vs {baseline[name]:.4f}s ({ratio:.2f}x)"
+        )
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+            if in_ci:
+                print(
+                    f"::warning title=benchmark regression::{name} is "
+                    f"{ratio:.2f}x the committed baseline "
+                    f"({current[name]:.4f}s vs {baseline[name]:.4f}s)"
+                )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) regressed beyond "
+            f"{args.threshold:.2f}x the baseline"
+        )
+        if args.fail_on_regression:
+            return 1
+    else:
+        print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

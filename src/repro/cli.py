@@ -17,6 +17,15 @@ Pick a solver, a pattern, parallel workers, or machine-readable output::
     repro-lhcds topk --dataset PC --pattern 2-triangle --k 3
     repro-lhcds topk --dataset CM --jobs 4 --json
 
+Choose an execution backend (output is bit-identical on every backend)::
+
+    repro-lhcds topk --dataset CM --jobs 4 --executor thread
+    repro-lhcds topk --dataset CM --jobs 4 --executor queue --queue-dir /tmp/q
+
+Run standalone workers against a shared queue directory::
+
+    repro-lhcds workers --queue-dir /tmp/q --jobs 2
+
 Reproduce one of the paper's tables or figures::
 
     repro-lhcds experiment figure9
@@ -30,7 +39,15 @@ import sys
 from typing import Optional, Sequence
 
 from .datasets.registry import dataset_abbreviations, dataset_statistics, get_spec, load_dataset
-from .engine import SolveRequest, available_solvers, get_solver, solve
+from .engine import (
+    SolveRequest,
+    available_executors,
+    available_solvers,
+    describe_executor,
+    get_solver,
+    solve,
+)
+from .engine.executors.filequeue import spawn_worker, worker_loop
 from .errors import ReproError
 from .experiments.figures import ALL_EXPERIMENTS, run_experiment
 from .graph.io import read_edge_list
@@ -65,7 +82,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for component-parallel solving (0 = one per CPU)",
+        help="workers for component-parallel solving (0 = one per CPU)",
+    )
+    topk.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default=None,
+        help="execution backend (default: $REPRO_EXECUTOR, then automatic; "
+        "output is bit-identical on every backend)",
+    )
+    topk.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="intra-component sub-tasks for the dominant component "
+        "(0 = auto, 1 = off; exact solver only)",
+    )
+    topk.add_argument(
+        "--queue-dir",
+        default=None,
+        help="backing directory for --executor queue (default: private tempdir)",
     )
     topk.add_argument(
         "--json",
@@ -82,6 +118,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the registered stand-in datasets")
     sub.add_parser("solvers", help="list the registered solvers")
+    sub.add_parser("executors", help="list the registered execution backends")
+
+    workers = sub.add_parser(
+        "workers", help="run queue workers against a shared queue directory"
+    )
+    workers.add_argument("--queue-dir", required=True, help="queue directory to drain")
+    workers.add_argument(
+        "--jobs", type=int, default=1, help="number of worker processes (default 1)"
+    )
+    workers.add_argument(
+        "--poll",
+        type=float,
+        default=0.1,
+        help="seconds each worker sleeps when the queue is empty (default 0.1)",
+    )
+    workers.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="stop each worker after this many tasks (default: unbounded)",
+    )
+    workers.add_argument(
+        "--exit-when-empty",
+        action="store_true",
+        help="stop workers as soon as no pending task is available",
+    )
 
     experiment = sub.add_parser("experiment", help="reproduce a table or figure")
     experiment.add_argument(
@@ -105,6 +167,9 @@ def _cmd_topk(args: argparse.Namespace) -> int:
             k=args.k,
             solver=args.solver,
             jobs=args.jobs,
+            executor=args.executor,
+            shards=args.shards,
+            queue_dir=args.queue_dir,
             iterations=args.iterations,
             verification=args.verification,
         )
@@ -133,9 +198,12 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     print(f"# total {timings.total:.3f}s "
           f"(propose {timings.seq_kclist + timings.decomposition:.3f}s, "
           f"prune {timings.prune:.3f}s, verify {timings.verification:.3f}s)")
+    sharded = f", {report.shards_used} shard(s)" if report.shards_used else ""
     print(f"# engine: {pre.num_active_components}/{pre.num_components} components "
           f"solvable, {pre.num_skipped_components} skipped by bounds, "
-          f"{report.jobs_used} worker(s)")
+          f"{report.jobs_used} worker(s) via {report.executor}{sharded}")
+    if report.fallback_reason:
+        print(f"# note: {report.fallback_reason}")
     return 0
 
 
@@ -165,6 +233,49 @@ def _cmd_solvers() -> int:
     return 0
 
 
+def _cmd_executors() -> int:
+    for name in available_executors():
+        print(f"{name:8} {describe_executor(name)}")
+    return 0
+
+
+def _cmd_workers(args: argparse.Namespace) -> int:
+    """Run queue workers (in-process for one, subprocesses for several)."""
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 1
+    if args.jobs == 1:
+        try:
+            completed = worker_loop(
+                args.queue_dir,
+                poll_seconds=args.poll,
+                max_tasks=args.max_tasks,
+                exit_when_empty=args.exit_when_empty,
+            )
+        except KeyboardInterrupt:
+            return 0
+        print(f"completed {completed} task(s)", file=sys.stderr)
+        return 0
+    procs = [
+        spawn_worker(
+            args.queue_dir,
+            poll_seconds=args.poll,
+            exit_when_empty=args.exit_when_empty,
+            max_tasks=args.max_tasks,
+        )
+        for _ in range(args.jobs)
+    ]
+    try:
+        for proc in procs:
+            proc.wait()
+    except KeyboardInterrupt:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (returns a process exit code)."""
     parser = _build_parser()
@@ -176,6 +287,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_datasets()
         if args.command == "solvers":
             return _cmd_solvers()
+        if args.command == "executors":
+            return _cmd_executors()
+        if args.command == "workers":
+            return _cmd_workers(args)
         if args.command == "experiment":
             print(run_experiment(args.name).render())
             return 0

@@ -1,4 +1,4 @@
-"""Unified solver engine: shared preprocessing + component-parallel runtime.
+"""Unified solver engine: shared preprocessing + pluggable execution backends.
 
 Every solve path in the package — IPPV, the exact decomposition, and the
 Greedy / LDSflow / LTDS baselines — runs through this engine::
@@ -12,10 +12,23 @@ Greedy / LDSflow / LTDS baselines — runs through this engine::
 The engine enumerates pattern instances once, splits the graph into
 connected components, bounds each component with the clique-core rules,
 skips components that provably cannot reach the top-k, and solves the rest
-— serially or on a process pool — before merging through a deterministic
-global ordering.  Parallel output is bit-identical to serial output.
+on a pluggable execution backend — ``serial``, ``thread``, ``process``, or
+the file-backed ``queue`` drained by independent workers
+(``python -m repro.engine.worker``) — before merging through a
+deterministic global ordering.  When one component dominates the run,
+solvers with sharding support (``exact``) additionally split its candidate
+space into sub-tasks.  Output is bit-identical across every backend, jobs
+value, and shard count.
 """
 
+from .executors import (
+    Executor,
+    ExecutorUnavailable,
+    available_executors,
+    describe_executor,
+    get_executor,
+    register_executor,
+)
 from .preprocess import preprocess
 from .request import (
     PreparedComponent,
@@ -25,7 +38,14 @@ from .request import (
     merge_key,
 )
 from .runtime import solve
-from .solvers import SolverSpec, available_solvers, get_solver, register_solver
+from .sharding import ShardHooks
+from .solvers import (
+    SolverSpec,
+    available_solvers,
+    get_solver,
+    register_solver,
+    unregister_solver,
+)
 
 __all__ = [
     "preprocess",
@@ -36,7 +56,15 @@ __all__ = [
     "merge_key",
     "solve",
     "SolverSpec",
+    "ShardHooks",
     "available_solvers",
     "get_solver",
     "register_solver",
+    "unregister_solver",
+    "Executor",
+    "ExecutorUnavailable",
+    "available_executors",
+    "describe_executor",
+    "get_executor",
+    "register_executor",
 ]

@@ -1,0 +1,443 @@
+"""File/directory-backed task queue: independent workers, crash-retry.
+
+The queue is a directory with three sub-directories::
+
+    QUEUE/
+      tasks/     pending   <task_id>.task               (pickled EngineTask)
+      claimed/   running   <task_id>.task.<host>.<pid>  (renamed by the worker)
+      results/   finished  <task_id>.result             (pickled envelope)
+
+The protocol relies only on atomic ``rename`` within one filesystem:
+
+* **claim** — a worker renames ``tasks/X.task`` to
+  ``claimed/X.task.<host>.<pid>``; exactly one worker wins the rename, so
+  no task runs twice concurrently;
+* **finish** — the worker writes ``results/X.result`` via a temp file +
+  rename (readers never observe partial pickles), then drops its claim;
+* **crash-retry** — a claim whose worker died without publishing a result
+  is renamed back into ``tasks/`` by the coordinator.  Same-host claims
+  are probed directly (``os.kill(pid, 0)``); claims from *other* hosts —
+  whose pids mean nothing here — are treated as leases and reclaimed only
+  once older than ``REPRO_QUEUE_LEASE`` seconds (default 120).  A bounded
+  number of attempts per task turns systematic worker death into
+  :class:`ExecutorUnavailable` (serial fallback) instead of an infinite
+  loop.
+
+Workers are plain processes running :mod:`repro.engine.worker` — the
+coordinator spawns local ones, but any process that can reach the
+directory (another shell, another machine via a shared mount) can
+participate, which is what makes the same protocol usable for remote
+workers later.  Results carry the task id, so the coordinator reassembles
+them in submission order regardless of which worker finished when —
+output stays bit-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import re
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ...errors import EngineError
+from .base import (
+    EngineTask,
+    ExecutionOutcome,
+    Executor,
+    ExecutorUnavailable,
+    TaskBatch,
+    unwrap_envelope,
+)
+
+TASK_SUFFIX = ".task"
+RESULT_SUFFIX = ".result"
+
+#: Sub-directory names, in creation order.
+_SUBDIRS = ("tasks", "claimed", "results")
+
+#: Filename-safe local hostname, recorded in claims so coordinators can
+#: tell probe-able local pids from foreign workers on a shared mount.
+_HOSTNAME = re.sub(r"[^A-Za-z0-9_-]", "-", socket.gethostname()) or "localhost"
+
+#: Seconds after which a foreign host's claim counts as abandoned.
+DEFAULT_LEASE_SECONDS = 120.0
+
+
+def ensure_queue(root: str) -> None:
+    """Create the queue directory layout (idempotent)."""
+    for name in _SUBDIRS:
+        os.makedirs(os.path.join(root, name), exist_ok=True)
+
+
+def _atomic_write(path: str, payload: Any) -> None:
+    """Pickle ``payload`` to ``path`` without ever exposing a partial file."""
+    tmp = f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:6]}"
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle)
+    except BaseException:
+        _unlink_quietly(tmp)
+        raise
+    os.replace(tmp, path)
+
+
+def write_task(root: str, task: EngineTask) -> None:
+    """Publish one task into ``tasks/``."""
+    _atomic_write(os.path.join(root, "tasks", task.id + TASK_SUFFIX), task)
+
+
+def claim_next(root: str, pid: int) -> Optional[Tuple[EngineTask, str]]:
+    """Claim the lexicographically first pending task, or ``None``.
+
+    Returns the task plus the claim path the worker must remove once the
+    result is written.  Losing a rename race to another worker is normal —
+    the next candidate is tried.
+    """
+    tasks_dir = os.path.join(root, "tasks")
+    try:
+        names = sorted(os.listdir(tasks_dir))
+    except FileNotFoundError:
+        return None
+    for name in names:
+        if not name.endswith(TASK_SUFFIX):
+            continue
+        claim_path = os.path.join(root, "claimed", f"{name}.{_HOSTNAME}.{pid}")
+        try:
+            os.rename(os.path.join(tasks_dir, name), claim_path)
+        except (FileNotFoundError, PermissionError):
+            continue  # another worker won the race
+        try:
+            with open(claim_path, "rb") as handle:
+                task = pickle.load(handle)
+        except Exception:  # noqa: BLE001 — corrupt task file: drop the claim
+            os.unlink(claim_path)
+            continue
+        return task, claim_path
+    return None
+
+
+def write_result(root: str, task_id: str, envelope: Tuple[str, Any]) -> None:
+    """Publish a finished task's envelope into ``results/``."""
+    _atomic_write(os.path.join(root, "results", task_id + RESULT_SUFFIX), envelope)
+
+
+def try_load_result(root: str, task_id: str) -> Optional[Tuple[str, Any]]:
+    """Read one result envelope if it has been published."""
+    path = os.path.join(root, "results", task_id + RESULT_SUFFIX)
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except FileNotFoundError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    return True
+
+
+def reclaim_stale(
+    root: str,
+    live_pids: Optional[Set[int]] = None,
+    lease_seconds: Optional[float] = None,
+) -> List[str]:
+    """Requeue claims whose worker died before publishing a result.
+
+    Same-host claims are probed directly (``live_pids`` narrows the check
+    to a known worker set; without it ``os.kill(pid, 0)``).  Claims from
+    other hosts — pids cannot be probed across machines — are treated as
+    leases: reclaimed only once their claim file is older than
+    ``lease_seconds`` (default ``REPRO_QUEUE_LEASE``, then 120s).  Returns
+    the requeued task ids.
+    """
+    if lease_seconds is None:
+        lease_seconds = float(
+            os.environ.get("REPRO_QUEUE_LEASE", DEFAULT_LEASE_SECONDS)
+        )
+    claimed_dir = os.path.join(root, "claimed")
+    requeued: List[str] = []
+    try:
+        names = sorted(os.listdir(claimed_dir))
+    except FileNotFoundError:
+        return requeued
+    for name in names:
+        stem, sep, owner = name.partition(TASK_SUFFIX + ".")
+        if not sep:
+            continue
+        host, _, pid_text = owner.rpartition(".")
+        if not pid_text.isdigit():
+            continue
+        if host in ("", _HOSTNAME):
+            pid = int(pid_text)
+            alive = pid in live_pids if live_pids is not None else _pid_alive(pid)
+        else:
+            try:
+                age = time.time() - os.path.getmtime(os.path.join(claimed_dir, name))
+            except FileNotFoundError:
+                continue
+            alive = age < lease_seconds
+        if alive:
+            continue
+        if try_load_result(root, stem) is not None:
+            # Finished but died before dropping the claim: just clean up.
+            _unlink_quietly(os.path.join(claimed_dir, name))
+            continue
+        try:
+            os.rename(
+                os.path.join(claimed_dir, name),
+                os.path.join(root, "tasks", stem + TASK_SUFFIX),
+            )
+        except FileNotFoundError:
+            continue  # another coordinator reclaimed it first
+        requeued.append(stem)
+    return requeued
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+
+
+def worker_loop(
+    root: str,
+    *,
+    poll_seconds: float = 0.1,
+    max_tasks: Optional[int] = None,
+    exit_when_empty: bool = False,
+) -> int:
+    """Claim-execute-publish until stopped; returns the number of tasks run.
+
+    This is the whole worker: :mod:`repro.engine.worker` is a thin argv
+    wrapper around it.  Imported lazily so the worker process does not pay
+    for it before the first claim.
+    """
+    from .base import run_task_enveloped
+
+    ensure_queue(root)
+    pid = os.getpid()
+    completed = 0
+    while True:
+        claimed = claim_next(root, pid)
+        if claimed is None:
+            if exit_when_empty:
+                return completed
+            time.sleep(poll_seconds)
+            continue
+        task, claim_path = claimed
+        envelope = run_task_enveloped(task)
+        write_result(root, task.id, envelope)
+        _unlink_quietly(claim_path)
+        completed += 1
+        if max_tasks is not None and completed >= max_tasks:
+            return completed
+
+
+def spawn_worker(
+    root: str,
+    *,
+    poll_seconds: float = 0.05,
+    exit_when_empty: bool = True,
+    max_tasks: Optional[int] = None,
+    log_path: Optional[str] = None,
+) -> subprocess.Popen:
+    """Start one worker process against ``root`` (stdio to the queue log)."""
+    ensure_queue(root)
+    command = [
+        sys.executable,
+        "-m",
+        "repro.engine.worker",
+        "--queue",
+        root,
+        "--poll",
+        str(poll_seconds),
+    ]
+    if exit_when_empty:
+        command.append("--exit-when-empty")
+    if max_tasks is not None:
+        command.extend(["--max-tasks", str(max_tasks)])
+    env = dict(os.environ)
+    # Make the repro package importable even when the coordinator runs from
+    # a source checkout that was put on sys.path by hand (tests, PYTHONPATH).
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    log = open(log_path or os.path.join(root, "workers.log"), "ab")
+    try:
+        return subprocess.Popen(
+            command, stdout=log, stderr=subprocess.STDOUT, env=env
+        )
+    finally:
+        log.close()
+
+
+class QueueExecutor(Executor):
+    """Coordinator side of the file-backed queue (see module docstring)."""
+
+    name = "queue"
+    description = "file-backed task queue drained by independent worker processes"
+    requires_pickling = True
+
+    #: A task is retried this many times before the batch is declared
+    #: infrastructure-broken (workers keep dying on it).
+    max_attempts = 3
+    #: Hard deadline for one batch; a wedged queue falls back to serial
+    #: rather than hanging the caller (override via REPRO_QUEUE_TIMEOUT).
+    default_timeout_seconds = 300.0
+
+    def run(self, batch: TaskBatch) -> ExecutionOutcome:
+        if not batch.tasks:
+            return ExecutionOutcome(results=[], jobs_used=max(batch.jobs, 1))
+        root = batch.queue_dir
+        owns_root = root is None
+        if owns_root:
+            root = tempfile.mkdtemp(prefix="repro-queue-")
+        ensure_queue(root)
+        raw_timeout = os.environ.get("REPRO_QUEUE_TIMEOUT", "").strip()
+        try:
+            timeout = float(raw_timeout) if raw_timeout else self.default_timeout_seconds
+        except ValueError:
+            raise EngineError(
+                f"REPRO_QUEUE_TIMEOUT must be a number of seconds, got {raw_timeout!r}"
+            ) from None
+        jobs = max(batch.jobs, 1)
+        run_id = uuid.uuid4().hex[:8]
+        # Unique ids per run so several solves can share one directory.
+        tasks = [
+            dataclasses.replace(task, id=f"{run_id}-{index:04d}-{task.id}")
+            for index, task in enumerate(batch.tasks)
+        ]
+        workers: List[subprocess.Popen] = []
+        try:
+            for task in tasks:
+                try:
+                    write_task(root, task)
+                except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                    raise ExecutorUnavailable(
+                        f"task {task.id!r} cannot be serialised for the queue "
+                        f"({type(exc).__name__}: {exc})"
+                    ) from exc
+            envelopes = self._drain(
+                root, tasks, jobs=jobs, timeout=timeout, workers=workers
+            )
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.terminate()
+            for worker in workers:
+                try:
+                    worker.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+            if owns_root:
+                shutil.rmtree(root, ignore_errors=True)
+            else:
+                self._cleanup(root, tasks)
+        return ExecutionOutcome(
+            results=[unwrap_envelope(envelopes[task.id]) for task in tasks],
+            jobs_used=jobs,
+        )
+
+    # ------------------------------------------------------------------
+    def _drain(
+        self,
+        root: str,
+        tasks: List[EngineTask],
+        *,
+        jobs: int,
+        timeout: float,
+        workers: List[subprocess.Popen],
+    ) -> Dict[str, Tuple[str, Any]]:
+        """Spawn workers and collect every envelope, retrying crashed tasks."""
+        deadline = time.monotonic() + timeout
+        attempts: Dict[str, int] = {task.id: 1 for task in tasks}
+        pending: Set[str] = set(attempts)
+        envelopes: Dict[str, Tuple[str, Any]] = {}
+        spawned = 0
+        spawn_budget = jobs + self.max_attempts * len(tasks)
+        # REPRO_QUEUE_SPAWN=0 keeps the coordinator from starting local
+        # workers, leaving all tasks to externally attached workers
+        # (`repro-lhcds workers`, possibly on other machines) — otherwise
+        # the coordinator's own workers would usually win the claims.
+        spawn_allowed = os.environ.get("REPRO_QUEUE_SPAWN", "1").strip() != "0"
+        while pending:
+            for task_id in list(pending):
+                envelope = try_load_result(root, task_id)
+                if envelope is not None:
+                    envelopes[task_id] = envelope
+                    pending.discard(task_id)
+            if not pending:
+                break
+            if time.monotonic() > deadline:
+                raise ExecutorUnavailable(
+                    f"queue batch timed out after {timeout:.0f}s "
+                    f"({len(pending)} of {len(tasks)} tasks unfinished)"
+                )
+            # Requeue claims of dead workers — ours or external — and count
+            # attempts so a task that keeps killing workers fails the batch
+            # instead of looping forever.
+            for task_id in reclaim_stale(root):
+                if task_id not in pending:
+                    continue
+                attempts[task_id] += 1
+                if attempts[task_id] > self.max_attempts:
+                    raise ExecutorUnavailable(
+                        f"queue task {task_id!r} crashed its worker "
+                        f"{self.max_attempts} times"
+                    )
+            workers[:] = [worker for worker in workers if worker.poll() is None]
+            waiting = self._unclaimed(root, pending) if spawn_allowed else []
+            while waiting and len(workers) < min(jobs, len(pending)):
+                if spawned >= spawn_budget:
+                    raise ExecutorUnavailable(
+                        f"queue workers keep exiting without progress "
+                        f"(spawned {spawned}, see {root}/workers.log)"
+                    )
+                workers.append(spawn_worker(root))
+                spawned += 1
+            time.sleep(0.02)
+        return envelopes
+
+    @staticmethod
+    def _unclaimed(root: str, pending: Iterable[str]) -> List[str]:
+        """Pending task ids whose files still sit unclaimed in ``tasks/``."""
+        tasks_dir = os.path.join(root, "tasks")
+        try:
+            names = set(os.listdir(tasks_dir))
+        except FileNotFoundError:
+            return []
+        return [task_id for task_id in pending if task_id + TASK_SUFFIX in names]
+
+    @staticmethod
+    def _cleanup(root: str, tasks: List[EngineTask]) -> None:
+        """Remove this run's files from a shared directory, leave the rest."""
+        for task in tasks:
+            _unlink_quietly(os.path.join(root, "tasks", task.id + TASK_SUFFIX))
+            _unlink_quietly(os.path.join(root, "results", task.id + RESULT_SUFFIX))
+        claimed_dir = os.path.join(root, "claimed")
+        try:
+            names = os.listdir(claimed_dir)
+        except FileNotFoundError:
+            return
+        ids = {task.id for task in tasks}
+        for name in names:
+            stem = name.split(TASK_SUFFIX)[0]
+            if stem in ids:
+                _unlink_quietly(os.path.join(claimed_dir, name))

@@ -1,0 +1,36 @@
+"""Thread-pool execution: no pickling, cheap start-up, shared memory.
+
+Pure-Python solver code holds the GIL, so threads rarely speed up the
+CPU-bound solvers — the backend exists because it is *cheap*: no process
+spawn, no payload pickling, no per-worker interpreter.  That makes it the
+right choice for many small components, for I/O-dominated custom solvers,
+and as a scheduling-order stress test in the CI bit-identity matrix.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from .base import (
+    ExecutionOutcome,
+    Executor,
+    TaskBatch,
+    run_task_enveloped,
+    unwrap_envelope,
+)
+
+
+class ThreadExecutor(Executor):
+    """Run tasks on a :class:`~concurrent.futures.ThreadPoolExecutor`."""
+
+    name = "thread"
+    description = "thread pool in the calling process (no pickling, GIL-bound)"
+
+    def run(self, batch: TaskBatch) -> ExecutionOutcome:
+        with ThreadPoolExecutor(max_workers=max(batch.jobs, 1)) as pool:
+            # map() yields in submission order: deterministic downstream.
+            envelopes = list(pool.map(run_task_enveloped, batch.tasks))
+        return ExecutionOutcome(
+            results=[unwrap_envelope(envelope) for envelope in envelopes],
+            jobs_used=max(batch.jobs, 1),
+        )

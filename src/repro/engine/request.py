@@ -40,9 +40,29 @@ class SolveRequest:
     solver:
         Name of a registered solver (see :func:`repro.engine.available_solvers`).
     jobs:
-        Worker processes for component-parallel execution.  ``1`` (default)
-        runs serially; ``0`` means "one per CPU".  Output is bit-identical
-        to the serial run for every value.
+        Workers for component-parallel execution.  ``1`` (default) runs
+        serially; ``0`` means "one per CPU".  Output is bit-identical to
+        the serial run for every value.
+    executor:
+        Name of a registered execution backend (see
+        :func:`repro.engine.available_executors`): ``serial``, ``thread``,
+        ``process``, or ``queue``.  ``None`` (default) resolves the
+        ``REPRO_EXECUTOR`` environment variable, then auto-selects
+        (``process`` when ``jobs`` and the component count both exceed one,
+        ``serial`` otherwise).  Output is bit-identical for every backend.
+    shards:
+        Intra-component parallelism for solvers that support it (currently
+        ``exact``): split the most expensive component's candidate space
+        into deterministic sub-tasks.  ``0`` (default) auto-shards into
+        ``jobs`` sub-tasks when that component's estimated cost dominates
+        the rest and ``jobs > 1``; ``1`` disables sharding; ``n >= 2``
+        forces ``n`` sub-tasks.  Sharded output is bit-identical to the
+        unsharded run.
+    queue_dir:
+        Directory backing the ``queue`` executor's task files.  ``None``
+        (default) uses a private temporary directory; point it at a shared
+        directory to let externally started workers
+        (``python -m repro.engine.worker --queue DIR``) claim tasks.
     iterations / verification / prune:
         Solver options (consumed by the solvers that understand them; the
         names match :class:`~repro.lhcds.ippv.IPPVConfig`).
@@ -60,6 +80,9 @@ class SolveRequest:
     k: Optional[int] = None
     solver: str = "ippv"
     jobs: int = 1
+    executor: Optional[str] = None
+    shards: int = 0
+    queue_dir: Optional[str] = None
     iterations: int = 20
     verification: str = "fast"
     prune: bool = True
@@ -72,6 +95,8 @@ class SolveRequest:
             raise EngineError(f"k must be positive (or None for all), got {self.k}")
         if self.jobs < 0:
             raise EngineError(f"jobs must be >= 0 (0 = one per CPU), got {self.jobs}")
+        if self.shards < 0:
+            raise EngineError(f"shards must be >= 0 (0 = auto, 1 = off), got {self.shards}")
         if self.verification not in {"fast", "basic"}:
             raise EngineError(
                 f"verification must be 'fast' or 'basic', got {self.verification!r}"
@@ -84,7 +109,7 @@ class SolveRequest:
 
     def for_component(self, subgraph: Graph) -> "SolveRequest":
         """A copy of the request scoped to one component (always serial)."""
-        return dataclasses.replace(self, graph=subgraph, jobs=1)
+        return dataclasses.replace(self, graph=subgraph, jobs=1, executor=None)
 
 
 @dataclass
@@ -153,6 +178,15 @@ class SolveReport(LhCDSResult):
     #: Worker processes requested / actually used (1 = serial).
     jobs: int = 1
     jobs_used: int = 1
+    #: Execution backend that actually ran the components.
+    executor: str = "serial"
+    #: When the resolved backend was unavailable (e.g. the platform cannot
+    #: spawn processes) the runtime falls back to ``serial``; this records
+    #: why, so the fallback is never silent.  ``None`` means no fallback.
+    fallback_reason: Optional[str] = None
+    #: Intra-component sub-tasks the dominant component was split into
+    #: (0 = the sharded path was not taken).
+    shards_used: int = 0
     preprocessing: PreprocessStats = field(default_factory=PreprocessStats)
     #: Wall-clock seconds spent solving components (sum lives in ``timings``).
     solve_seconds: float = 0.0
@@ -165,6 +199,9 @@ class SolveReport(LhCDSResult):
             "h": self.h,
             "k": self.k,
             "jobs": self.jobs_used,
+            "executor": self.executor,
+            "fallback_reason": self.fallback_reason,
+            "shards": self.shards_used,
             "subgraphs": [
                 {
                     "rank": rank,

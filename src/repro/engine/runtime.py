@@ -9,42 +9,57 @@ The runtime turns a :class:`SolveRequest` into a :class:`SolveReport`:
    component whose density cap ``c_max`` is *strictly* below the guaranteed
    top-1 density of at least ``k`` other components can contribute nothing
    to the global top-k, so it is never solved.  The decision depends only on
-   the precomputed bounds — never on execution order — which keeps parallel
-   runs bit-identical to serial ones.
-4. Solve the surviving components: serially, or on a process pool with
-   ``jobs`` workers.  Workers receive only their component (subgraph,
-   restricted instances, bounds), not the host graph.  If the platform
-   cannot spawn processes the runtime silently falls back to the serial
-   path — the output is identical either way.
-5. Merge: concatenate the per-component subgraphs, sort with the same
+   the precomputed bounds — never on execution order — which keeps every
+   backend's output bit-identical.
+4. **Shard planning** (solvers with :class:`~repro.engine.sharding.ShardHooks`,
+   currently ``exact``): when one component's estimated cost dominates the
+   rest — or the request forces it — its candidate space is split into
+   deterministic sub-tasks (setup once, then one task per shard) whose
+   merge reproduces the unsharded output exactly.
+5. Execute the task batch on the resolved backend — ``serial``, ``thread``,
+   ``process``, or ``queue`` (see :mod:`repro.engine.executors`), chosen by
+   ``SolveRequest.executor``, the ``REPRO_EXECUTOR`` environment variable,
+   or automatically.  If the backend's infrastructure fails (the platform
+   cannot spawn processes, payloads will not pickle, queue workers keep
+   dying) the runtime falls back to the serial backend and records why in
+   ``SolveReport.fallback_reason`` — the output is identical either way.
+   Solver exceptions are *not* infrastructure: they re-raise as
+   :class:`EngineError` on every backend.
+6. Merge: concatenate the per-component subgraphs, sort with the same
    deterministic key the IPPV driver uses, truncate to ``k``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import heapq
 import os
-import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Tuple
 
 from ..errors import EngineError
 from ..lhcds.ippv import DenseSubgraph, LhCDSResult, StageTimings
 from ..lhcds.verify import VerificationStats
+from .executors import (
+    EngineTask,
+    ExecutionOutcome,
+    ExecutorUnavailable,
+    TaskBatch,
+    available_executors,
+    get_executor,
+)
+from .executors.base import KIND_SHARD_SETUP, KIND_SHARD_SOLVE, KIND_SOLVE
 from .preprocess import preprocess
 from .request import PreparedComponent, SolveReport, SolveRequest, merge_key
+from .sharding import estimated_cost
 from .solvers import SolverSpec, get_solver
 
 
-def _solve_component(
-    args: Tuple[str, PreparedComponent, SolveRequest],
-) -> LhCDSResult:
-    """Worker entry point: solve one component (module-level for pickling)."""
-    solver_name, component, request = args
-    return get_solver(solver_name).solve(component, request)
+@dataclasses.dataclass(frozen=True)
+class _ShardPlan:
+    """Where and how wide the intra-component sharded path applies."""
+
+    position: int  # index into the selected component list
+    shards: int
 
 
 def _select_components(
@@ -78,56 +93,65 @@ def _select_components(
     return selected, len(components) - len(selected)
 
 
-def _run_serial(
-    spec: SolverSpec,
-    components: List[PreparedComponent],
-    request: SolveRequest,
-) -> Tuple[List[LhCDSResult], int]:
-    """Solve components in decreasing upper-bound order with dynamic early stop.
-
-    For exact solvers with finite ``k``: once the running k-th best verified
-    density *strictly* exceeds the next component's density cap, no later
-    component (they are sorted by decreasing cap) can place in the global
-    top-k — not even on ties — so the remainder is skipped.  The parallel
-    path solves every component instead, but its merge discards exactly the
-    strictly-dominated subgraphs, so the two outputs stay bit-identical.
-
-    Returns the per-component results plus the early-stopped component count.
-    """
-    dynamic = spec.exact and request.k is not None
-    k = request.k
-    results: List[LhCDSResult] = []
-    topk: List = []  # min-heap of the k best densities found so far
-    for position, comp in enumerate(components):
-        if dynamic and len(topk) >= k and topk[0] > comp.upper_bound:
-            return results, len(components) - position
-        result = spec.solve(comp, request.for_component(comp.subgraph))
-        results.append(result)
-        if dynamic:
-            for subgraph in result.subgraphs:
-                heapq.heappush(topk, subgraph.density)
-                if len(topk) > k:
-                    heapq.heappop(topk)
-    return results, 0
-
-
-def _run_parallel(
+def _plan_sharding(
     spec: SolverSpec,
     components: List[PreparedComponent],
     request: SolveRequest,
     jobs: int,
-) -> Optional[List[LhCDSResult]]:
-    """Solve components on a process pool; ``None`` means "fall back to serial"."""
-    payloads = [
-        (spec.name, comp, request.for_component(comp.subgraph)) for comp in components
-    ]
-    try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            # map() yields results in submission order, so downstream
-            # aggregation is deterministic regardless of completion order.
-            return list(pool.map(_solve_component, payloads))
-    except (OSError, PermissionError, BrokenProcessPool, pickle.PicklingError):
+) -> Optional[_ShardPlan]:
+    """Decide whether (and how wide) to shard the most expensive component.
+
+    ``request.shards``: ``1`` disables, ``n >= 2`` forces ``n`` sub-tasks,
+    and ``0`` (auto) shards into ``jobs`` sub-tasks when the dominant
+    component's estimated cost is at least the rest of the run combined and
+    more than one worker is available.  Whatever the decision, sharded and
+    unsharded output are bit-identical — the choice only moves work.
+    """
+    if spec.sharding is None or not components or request.shards == 1:
         return None
+    costs = [estimated_cost(comp) for comp in components]
+    position = max(range(len(components)), key=lambda i: (costs[i], -i))
+    if request.shards >= 2:
+        return _ShardPlan(position=position, shards=request.shards)
+    if jobs <= 1:
+        return None
+    if costs[position] * 2 < sum(costs):
+        return None  # no dominant component: component parallelism suffices
+    return _ShardPlan(position=position, shards=jobs)
+
+
+def _resolve_executor(request: SolveRequest, jobs: int, num_tasks: int, sharded: bool) -> str:
+    """Pick the backend: explicit request, then REPRO_EXECUTOR, then auto."""
+    name = request.executor
+    if name is None:
+        name = os.environ.get("REPRO_EXECUTOR", "").strip().lower() or None
+    if name is not None:
+        key = name.strip().lower()
+        if key not in available_executors():
+            raise EngineError(
+                f"unknown executor {name!r}; available: "
+                f"{', '.join(available_executors())}"
+            )
+        return key
+    parallelisable = num_tasks > 1 or sharded
+    return "process" if jobs > 1 and parallelisable else "serial"
+
+
+def _run_batch(
+    executor_name: str, batch: TaskBatch
+) -> Tuple[ExecutionOutcome, str, Optional[str]]:
+    """Run a batch, falling back to serial on infrastructure failure.
+
+    Returns ``(outcome, backend that actually ran, fallback reason)``.
+    """
+    try:
+        return get_executor(executor_name).run(batch), executor_name, None
+    except ExecutorUnavailable as exc:
+        if executor_name == "serial":
+            raise EngineError(f"serial executor unavailable: {exc}") from exc
+        reason = f"{executor_name} backend unavailable, ran serial: {exc}"
+        serial_batch = dataclasses.replace(batch, jobs=1)
+        return get_executor("serial").run(serial_batch), "serial", reason
 
 
 def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
@@ -158,18 +182,95 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
     stats.num_skipped_components = skipped
 
     jobs = request.jobs if request.jobs > 0 else (os.cpu_count() or 1)
-    jobs = min(jobs, max(len(components), 1))
+    plan = _plan_sharding(spec, components, request, jobs)
+    executor_name = _resolve_executor(
+        request, jobs, num_tasks=len(components), sharded=plan is not None
+    )
+
+    # ------------------------------------------------------------------
+    # round 1: one task per component (the sharded component contributes
+    # its setup stage); round 2 fans the shard sub-tasks out.
+    # ------------------------------------------------------------------
+    tasks: List[EngineTask] = []
+    for index, comp in enumerate(components):
+        scoped = request.for_component(comp.subgraph)
+        if plan is not None and index == plan.position:
+            tasks.append(
+                EngineTask(
+                    id=f"setup-c{comp.index}",
+                    kind=KIND_SHARD_SETUP,
+                    solver=spec.name,
+                    payload=(comp, scoped),
+                )
+            )
+        else:
+            tasks.append(
+                EngineTask(
+                    id=f"solve-c{comp.index}",
+                    kind=KIND_SOLVE,
+                    solver=spec.name,
+                    payload=(comp, scoped),
+                    upper_bound=comp.upper_bound,
+                )
+            )
+    # The dynamic early stop needs homogeneous, cap-ordered solve tasks;
+    # the sharded path mixes in setup/shard tasks, so it solves everything
+    # (like the parallel backends) and lets the merge discard the excess.
+    early_stop_k = (
+        request.k if (spec.exact and request.k is not None and plan is None) else None
+    )
 
     tick = time.perf_counter()
-    results: Optional[List[LhCDSResult]] = None
     jobs_used = 1
-    if jobs > 1 and len(components) > 1:
-        results = _run_parallel(spec, components, request, jobs)
-        if results is not None:
-            jobs_used = jobs
-    if results is None:
-        results, early_stopped = _run_serial(spec, components, request)
-        stats.num_early_stopped_components = early_stopped
+    executor_used = executor_name
+    fallback_reason: Optional[str] = None
+    shards_used = 0
+    if tasks:
+        batch = TaskBatch(
+            tasks=tasks,
+            jobs=max(1, min(jobs, len(tasks))),
+            early_stop_k=early_stop_k,
+            queue_dir=request.queue_dir,
+        )
+        outcome, executor_used, fallback_reason = _run_batch(executor_name, batch)
+        jobs_used = outcome.jobs_used
+        stats.num_early_stopped_components = outcome.early_stopped
+        task_results = outcome.results
+    else:
+        task_results = []
+
+    if plan is not None and tasks:
+        comp = components[plan.position]
+        scoped = request.for_component(comp.subgraph)
+        setup_result = task_results[plan.position]
+        shard_payloads = spec.sharding.split(setup_result, plan.shards)
+        shard_tasks = [
+            EngineTask(
+                id=f"shard-c{comp.index}-{index}",
+                kind=KIND_SHARD_SOLVE,
+                solver=spec.name,
+                payload=(comp, scoped, setup_result, payload),
+            )
+            for index, payload in enumerate(shard_payloads)
+        ]
+        shard_batch = TaskBatch(
+            tasks=shard_tasks,
+            jobs=max(1, min(jobs, len(shard_tasks))),
+            queue_dir=request.queue_dir,
+        )
+        # Reuse the backend that round 1 actually ran on: if it fell back
+        # to serial, there is no point re-probing broken infrastructure.
+        shard_outcome, executor_used, shard_fallback = _run_batch(
+            executor_used, shard_batch
+        )
+        fallback_reason = fallback_reason or shard_fallback
+        jobs_used = max(jobs_used, shard_outcome.jobs_used)
+        shards_used = len(shard_tasks)
+        task_results[plan.position] = spec.sharding.merge(
+            comp, scoped, setup_result, shard_outcome.results
+        )
+
+    results: List[LhCDSResult] = [r for r in task_results if r is not None]
     solve_seconds = time.perf_counter() - tick
 
     # ------------------------------------------------------------------
@@ -217,6 +318,9 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
         k=request.k,
         jobs=request.jobs,
         jobs_used=jobs_used,
+        executor=executor_used,
+        fallback_reason=fallback_reason,
+        shards_used=shards_used,
         preprocessing=stats,
         solve_seconds=solve_seconds,
     )

@@ -1,0 +1,168 @@
+"""Intra-component sharding: split one expensive component into sub-tasks.
+
+Component-level parallelism stops helping when one connected component
+dominates the run — the common case on real graphs, where a giant component
+holds nearly every vertex.  A solver can opt into *intra-component*
+parallelism by attaching :class:`ShardHooks` to its
+:class:`~repro.engine.solvers.SolverSpec`:
+
+1. ``setup`` runs once on the component (one task) and produces whatever
+   shared state the sub-tasks need;
+2. ``split`` (cheap, coordinator-side) partitions the candidate space into
+   deterministic shard payloads;
+3. ``solve_shard`` runs per shard — these are the tasks that fan out across
+   the execution backend;
+4. ``merge`` reassembles the shard results into one
+   :class:`~repro.lhcds.ippv.LhCDSResult`.
+
+The contract is **bit-identity**: ``merge(split(...))`` must reproduce the
+exact output (same vertex sets, same exact :class:`~fractions.Fraction`
+densities, same ordering fed into the engine's global merge) of the
+solver's unsharded ``solve`` on the same component, for every shard count.
+
+The ``exact`` solver's hooks below shard the diminishingly-dense
+decomposition's *candidate levels*: ``setup`` computes the exact compact
+numbers ``phi`` (the sequential part), ``split`` deals the distinct
+positive density levels round-robin across shards, and each sub-task
+enumerates the level-set components of its levels and applies the
+locally-densest maximality check.  Because every density level lives in
+exactly one shard, the merge can reconstruct the serial enumeration order
+(levels by decreasing density, components by discovery order) before
+applying the same final sort and top-k truncation as the direct call —
+which keeps the output bit-identical to
+:func:`repro.lhcds.exact.exact_top_k_lhcds`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..graph.graph import Vertex
+from ..lhcds.exact import exact_compact_numbers, lhcds_at_level
+from ..lhcds.ippv import DenseSubgraph, LhCDSResult, StageTimings
+from ..lhcds.verify import VerificationStats
+from .request import PreparedComponent, SolveRequest
+
+#: (density level, discovery index within the level, sorted member vertices)
+ShardItem = Tuple[Fraction, int, Tuple[Vertex, ...]]
+
+
+@dataclass(frozen=True)
+class ShardHooks:
+    """A solver's intra-component sharding implementation (see module doc)."""
+
+    setup: Callable[[PreparedComponent, SolveRequest], Any]
+    split: Callable[[Any, int], List[Any]]
+    solve_shard: Callable[[PreparedComponent, SolveRequest, Any, Any], Any]
+    merge: Callable[[PreparedComponent, SolveRequest, Any, List[Any]], LhCDSResult]
+
+
+def estimated_cost(component: PreparedComponent) -> int:
+    """Relative cost estimate used to decide whether one component dominates."""
+    return (
+        component.instances.num_instances
+        + component.subgraph.num_edges
+        + component.subgraph.num_vertices
+    )
+
+
+# ----------------------------------------------------------------------
+# exact solver: shard the decomposition's density levels
+# ----------------------------------------------------------------------
+def _exact_setup(
+    component: PreparedComponent, request: SolveRequest
+) -> Dict[Vertex, Fraction]:
+    """The sequential stage: exact compact numbers of the component.
+
+    Must call :func:`exact_compact_numbers` with the same arguments as the
+    unsharded path so the returned dict — *including its insertion order*,
+    which downstream set construction inherits — is identical.
+    """
+    return exact_compact_numbers(component.instances, component.subgraph.vertices())
+
+
+def _exact_split(phi: Dict[Vertex, Fraction], shards: int) -> List[List[Fraction]]:
+    """Deal the distinct positive density levels round-robin across shards.
+
+    Round-robin over the descending level list keeps each shard's work
+    spread across the density spectrum (top levels are the larger induced
+    subgraphs).  Every level belongs to exactly one shard — the invariant
+    the merge's order reconstruction relies on.
+    """
+    values = sorted({v for v in phi.values() if v > 0}, reverse=True)
+    groups = [values[i::shards] for i in range(max(shards, 1))]
+    return [group for group in groups if group]
+
+
+def _exact_solve_shard(
+    component: PreparedComponent,
+    request: SolveRequest,
+    phi: Dict[Vertex, Fraction],
+    values: Sequence[Fraction],
+) -> List[ShardItem]:
+    """Enumerate the LhCDSes whose density lies in this shard's levels.
+
+    Delegates the per-level enumeration and maximality check to the same
+    :func:`repro.lhcds.exact.lhcds_at_level` the direct path uses — the
+    two can never drift apart.  The discovery index is recorded so the
+    merge can restore the serial enumeration order.
+    """
+    graph = component.subgraph
+    found: List[ShardItem] = []
+    for rho in values:
+        for seq, members in lhcds_at_level(graph, phi, rho):
+            found.append((rho, seq, tuple(sorted(members, key=repr))))
+    return found
+
+
+def _exact_merge(
+    component: PreparedComponent,
+    request: SolveRequest,
+    phi: Dict[Vertex, Fraction],
+    shard_results: List[List[ShardItem]],
+) -> LhCDSResult:
+    """Reassemble shard results into the unsharded solver's exact output.
+
+    Items are first restored to the serial insertion order (levels by
+    decreasing density, then discovery order — each level is whole within
+    one shard, so this is exact), then run through the same stable
+    ``(-density, -size)`` sort and top-k truncation as
+    :func:`~repro.lhcds.exact.exact_top_k_lhcds`, and finally wrapped the
+    way the engine's ``exact`` solver wraps direct results.
+    """
+    start = time.perf_counter()
+    items: List[ShardItem] = [item for result in shard_results for item in result]
+    items.sort(key=lambda item: (-item[0], item[1]))
+    pairs = [(members, rho) for rho, _, members in items]
+    pairs.sort(key=lambda pair: (-pair[1], -len(pair[0])))
+    if request.k is not None:
+        pairs = pairs[: request.k]
+    subgraphs = [
+        DenseSubgraph(
+            vertices=frozenset(members),
+            density=density,
+            pattern_name=request.pattern.name,
+            h=request.h,
+        )
+        for members, density in pairs
+    ]
+    timings = StageTimings()
+    timings.total = time.perf_counter() - start
+    return LhCDSResult(
+        subgraphs=subgraphs,
+        timings=timings,
+        verification=VerificationStats(),
+        candidates_examined=len(subgraphs),
+    )
+
+
+#: Hooks attached to the ``exact`` solver's registration.
+EXACT_SHARDING = ShardHooks(
+    setup=_exact_setup,
+    split=_exact_split,
+    solve_shard=_exact_solve_shard,
+    merge=_exact_merge,
+)

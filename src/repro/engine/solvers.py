@@ -32,6 +32,7 @@ from ..lhcds.exact import exact_top_k_lhcds
 from ..lhcds.ippv import IPPV, DenseSubgraph, IPPVConfig, LhCDSResult, StageTimings
 from ..lhcds.verify import VerificationStats
 from .request import PreparedComponent, SolveRequest
+from .sharding import EXACT_SHARDING, ShardHooks
 
 SolveFn = Callable[[PreparedComponent, SolveRequest], LhCDSResult]
 
@@ -51,6 +52,9 @@ class SolverSpec:
     requires_k: bool = False
     #: Whether the solver runs Algorithm 3 pruning itself.
     internal_prune: bool = False
+    #: Intra-component sharding hooks, or None when the solver only runs
+    #: whole components (see :mod:`repro.engine.sharding`).
+    sharding: Optional[ShardHooks] = None
 
     def validate(self, request: SolveRequest) -> None:
         """Raise :class:`EngineError` when the request does not fit."""
@@ -71,6 +75,13 @@ def register_solver(spec: SolverSpec) -> None:
     if spec.name in _REGISTRY:
         raise EngineError(f"solver {spec.name!r} is already registered")
     _REGISTRY[spec.name] = spec
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a solver from the registry (used by tests and plugins)."""
+    if name not in _REGISTRY:
+        raise EngineError(f"solver {name!r} is not registered")
+    del _REGISTRY[name]
 
 
 def get_solver(name: str) -> SolverSpec:
@@ -159,6 +170,7 @@ register_solver(
         description="diminishingly-dense decomposition (LhCDScvx-style reference)",
         solve=_solve_exact,
         exact=True,
+        sharding=EXACT_SHARDING,
     )
 )
 register_solver(

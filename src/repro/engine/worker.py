@@ -1,0 +1,67 @@
+"""Standalone queue worker: ``python -m repro.engine.worker --queue DIR``.
+
+A worker claims serialized :class:`~repro.engine.request.PreparedComponent`
+tasks from a file-backed queue (see
+:mod:`repro.engine.executors.filequeue`), solves them, and publishes the
+result payloads.  Any number of workers — started by the ``queue``
+executor's coordinator, by ``repro-lhcds workers``, by hand, or on another
+machine against a shared mount — can drain the same directory; the atomic
+claim rename guarantees each task runs in exactly one worker, and crashed
+workers' tasks are requeued by the coordinator.
+
+Exit codes: 0 on a clean stop, 2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .executors.filequeue import worker_loop
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.worker",
+        description="claim and solve tasks from a file-backed engine queue",
+    )
+    parser.add_argument("--queue", required=True, help="queue directory to drain")
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.1,
+        help="seconds to sleep when the queue is empty (default 0.1)",
+    )
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after completing this many tasks (default: unbounded)",
+    )
+    parser.add_argument(
+        "--exit-when-empty",
+        action="store_true",
+        help="exit as soon as no pending task is available",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Worker entry point (returns a process exit code)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        completed = worker_loop(
+            args.queue,
+            poll_seconds=args.poll,
+            max_tasks=args.max_tasks,
+            exit_when_empty=args.exit_when_empty,
+        )
+    except KeyboardInterrupt:
+        return 0
+    print(f"worker {args.queue}: completed {completed} task(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,35 @@ exists only under ``tests/``; ``tests/conftest.py`` re-exports the fixtures.
 from __future__ import annotations
 
 from repro.datasets.synthetic import gnp_graph
-from repro.graph import Graph
+from repro.graph import Graph, complete_graph, cycle_graph, union_graph
 
 
 def random_graph(n: int, p: float, seed: int) -> Graph:
     """Deterministic G(n, p) helper used by several test modules."""
     return gnp_graph(n, p, seed=seed)
+
+
+def shifted(graph: Graph, offset: int) -> Graph:
+    """The graph with every vertex id shifted (for disjoint unions)."""
+    return Graph(
+        vertices=[v + offset for v in graph.vertices()],
+        edges=[(u + offset, v + offset) for u, v in graph.edges()],
+    )
+
+
+def multi_component_graph() -> Graph:
+    """Disjoint K6, K5, K4 plus a triangle-bearing cycle and an instance-free path."""
+    parts = [complete_graph(6), shifted(complete_graph(5), 100), shifted(complete_graph(4), 200)]
+    sparse = cycle_graph(6)
+    sparse.add_edge(0, 2)
+    parts.append(shifted(sparse, 300))
+    parts.append(Graph(edges=[(400, 401), (401, 402)]))
+    return union_graph(*parts)
+
+
+def signature(report):
+    """The bit-comparable output: ordered (vertex set, exact density) pairs."""
+    return [(frozenset(s.vertices), s.density) for s in report.subgraphs]
 
 
 def small_random_graphs():

@@ -1,0 +1,467 @@
+"""Tests for the pluggable execution backends: registry + env resolution,
+bit-identity across every backend (including the intra-component sharded
+path), the file-backed queue's claim/crash-retry protocol, the worker CLI,
+and the infrastructure-vs-solver failure split."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from helpers import multi_component_graph, signature
+
+from repro.cli import main as cli_main
+from repro.datasets.synthetic import planted_communities_graph
+from repro.engine import (
+    SolverSpec,
+    available_executors,
+    describe_executor,
+    get_executor,
+    register_solver,
+    solve,
+    unregister_solver,
+)
+from repro.engine.executors import filequeue
+from repro.engine.executors.base import (
+    EngineTask,
+    ExecutorUnavailable,
+    TaskBatch,
+    run_task_enveloped,
+)
+from repro.engine.worker import main as worker_main
+from repro.errors import EngineError
+from repro.graph import complete_graph
+
+ALL_EXECUTORS = ("serial", "thread", "process", "queue")
+
+
+def _probe(task_id, payload):
+    return EngineTask(id=task_id, kind="probe", solver="", payload=(payload,))
+
+
+def _dominant_component_graph():
+    """One multi-level dense component that dwarfs everything else."""
+    graph, _ = planted_communities_graph(
+        [12, 10, 9], p_in=0.95, p_out=0.04, seed=21, background=12
+    )
+    return graph
+
+
+class TestRegistry:
+    def test_all_four_backends_registered(self):
+        assert available_executors() == ["process", "queue", "serial", "thread"]
+        for name in available_executors():
+            assert describe_executor(name)
+            assert get_executor(name).name == name
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(EngineError, match="unknown executor"):
+            get_executor("rocket")
+        with pytest.raises(EngineError, match="unknown executor"):
+            solve(graph=complete_graph(4), pattern=3, k=1, executor="rocket")
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        report = solve(graph=complete_graph(4), pattern=3, k=1, solver="exact")
+        assert report.executor == "thread"
+
+    def test_invalid_env_variable_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "not-a-backend")
+        with pytest.raises(EngineError, match="unknown executor"):
+            solve(graph=complete_graph(4), pattern=3, k=1)
+
+    def test_request_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        report = solve(
+            graph=complete_graph(4), pattern=3, k=1, solver="exact", executor="serial"
+        )
+        assert report.executor == "serial"
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(EngineError, match="shards must be"):
+            solve(graph=complete_graph(4), pattern=3, k=1, shards=-1)
+
+
+class TestBitIdentityAcrossBackends:
+    """The acceptance criterion: every registered solver, every backend."""
+
+    @pytest.mark.parametrize(
+        "solver,h",
+        [("ippv", 3), ("exact", 3), ("greedy", 3), ("ldsflow", 2), ("ltds", 3)],
+    )
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS)
+    def test_every_solver_identical_on_every_backend(self, solver, h, executor):
+        graph = multi_component_graph()
+        reference = solve(
+            graph=graph, pattern=h, k=4, solver=solver, jobs=1, executor="serial"
+        )
+        report = solve(
+            graph=graph, pattern=h, k=4, solver=solver, jobs=2, executor=executor
+        )
+        assert signature(report) == signature(reference)
+        # The requested backend must actually have run — a fallback here
+        # would make the matrix assertion vacuous.
+        assert report.executor == executor
+        assert report.fallback_reason is None
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS)
+    def test_k_none_identical_on_every_backend(self, executor):
+        graph = multi_component_graph()
+        reference = solve(
+            graph=graph, pattern=3, k=None, solver="exact", jobs=1, executor="serial"
+        )
+        report = solve(
+            graph=graph, pattern=3, k=None, solver="exact", jobs=2, executor=executor
+        )
+        assert signature(report) == signature(reference)
+
+
+class TestShardedPath:
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS)
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    def test_forced_sharding_bit_identical(self, executor, shards):
+        graph = _dominant_component_graph()
+        reference = solve(
+            graph=graph, pattern=3, k=5, solver="exact",
+            jobs=1, executor="serial", shards=1,
+        )
+        report = solve(
+            graph=graph, pattern=3, k=5, solver="exact",
+            jobs=2, executor=executor, shards=shards,
+        )
+        assert signature(report) == signature(reference)
+        assert report.executor == executor
+        assert report.shards_used >= 2
+
+    def test_auto_sharding_triggers_on_dominant_component(self):
+        graph = _dominant_component_graph()
+        serial = solve(graph=graph, pattern=3, k=5, solver="exact", jobs=1, shards=1)
+        auto = solve(
+            graph=graph, pattern=3, k=5, solver="exact", jobs=4, executor="process"
+        )
+        assert auto.shards_used > 0
+        assert signature(auto) == signature(serial)
+
+    def test_shards_one_disables(self):
+        graph = _dominant_component_graph()
+        report = solve(
+            graph=graph, pattern=3, k=5, solver="exact",
+            jobs=4, executor="process", shards=1,
+        )
+        assert report.shards_used == 0
+
+    def test_sharding_ignored_without_hooks(self):
+        graph = _dominant_component_graph()
+        report = solve(graph=graph, pattern=3, k=5, solver="ippv", jobs=2, shards=4)
+        assert report.shards_used == 0
+
+    def test_sharding_with_k_none(self):
+        graph = _dominant_component_graph()
+        reference = solve(graph=graph, pattern=3, k=None, solver="exact", shards=1)
+        report = solve(
+            graph=graph, pattern=3, k=None, solver="exact",
+            jobs=2, executor="thread", shards=3,
+        )
+        assert signature(report) == signature(reference)
+
+    def test_sharding_on_multi_component_graph(self):
+        # Sharding composes with component skipping and the global merge.
+        graph = multi_component_graph()
+        reference = solve(graph=graph, pattern=3, k=4, solver="exact", shards=1)
+        report = solve(
+            graph=graph, pattern=3, k=4, solver="exact",
+            jobs=2, executor="thread", shards=2,
+        )
+        assert signature(report) == signature(reference)
+
+
+class TestQueueProtocol:
+    def test_claim_is_exclusive_and_ordered(self, tmp_path):
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        for index in range(3):
+            filequeue.write_task(root, _probe(f"t{index}", {"value": index}))
+        first = filequeue.claim_next(root, os.getpid())
+        assert first is not None and first[0].id == "t0"
+        second = filequeue.claim_next(root, os.getpid())
+        assert second is not None and second[0].id == "t1"
+
+    def test_worker_loop_drains_and_publishes(self, tmp_path):
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        for index in range(4):
+            filequeue.write_task(root, _probe(f"t{index}", {"value": index * 10}))
+        completed = filequeue.worker_loop(root, exit_when_empty=True)
+        assert completed == 4
+        for index in range(4):
+            envelope = filequeue.try_load_result(root, f"t{index}")
+            assert envelope == ("ok", index * 10)
+
+    def test_reclaim_stale_requeues_dead_claims(self, tmp_path):
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        task = _probe("t0", {"value": 1})
+        filequeue.write_task(root, task)
+        claimed = filequeue.claim_next(root, pid=2 ** 22 + 12345)  # surely dead
+        assert claimed is not None
+        assert filequeue.claim_next(root, os.getpid()) is None  # queue now empty
+        requeued = filequeue.reclaim_stale(root)
+        assert requeued == ["t0"]
+        reclaimed = filequeue.claim_next(root, os.getpid())
+        assert reclaimed is not None and reclaimed[0].id == "t0"
+
+    def test_reclaim_leaves_live_claims_alone(self, tmp_path):
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        filequeue.write_task(root, _probe("t0", {"value": 1}))
+        assert filequeue.claim_next(root, os.getpid()) is not None
+        assert filequeue.reclaim_stale(root) == []
+
+    def test_foreign_host_claims_reclaimed_by_lease_not_pid(self, tmp_path):
+        # A claim from another machine carries a pid that means nothing
+        # here: it must be left alone while its lease is fresh (even if the
+        # pid is dead locally) and requeued once the lease expires.
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        filequeue.write_task(root, _probe("t0", {"value": 1}))
+        claim = os.path.join(root, "claimed", f"t0{filequeue.TASK_SUFFIX}.otherbox.99999999")
+        os.rename(os.path.join(root, "tasks", f"t0{filequeue.TASK_SUFFIX}"), claim)
+        assert filequeue.reclaim_stale(root, lease_seconds=60) == []
+        stale = os.path.getmtime(claim) - 120
+        os.utime(claim, (stale, stale))
+        assert filequeue.reclaim_stale(root, lease_seconds=60) == ["t0"]
+        reclaimed = filequeue.claim_next(root, os.getpid())
+        assert reclaimed is not None and reclaimed[0].id == "t0"
+
+    def test_spawn_disabled_leaves_tasks_to_external_workers(self, tmp_path, monkeypatch):
+        import threading
+
+        monkeypatch.setenv("REPRO_QUEUE_SPAWN", "0")
+        root = str(tmp_path / "queue")
+        filequeue.ensure_queue(root)
+        external = threading.Thread(
+            target=filequeue.worker_loop,
+            args=(root,),
+            kwargs={"poll_seconds": 0.02, "max_tasks": 2},
+            daemon=True,
+        )
+        external.start()
+        batch = TaskBatch(
+            tasks=[_probe("a", {"value": 1}), _probe("b", {"value": 2})],
+            jobs=3,
+            queue_dir=root,
+        )
+        outcome = get_executor("queue").run(batch)
+        external.join(timeout=10)
+        assert outcome.results == [1, 2]
+        # No coordinator-spawned worker ever started (they log to workers.log).
+        assert not os.path.exists(os.path.join(root, "workers.log"))
+
+    def test_invalid_queue_timeout_is_engine_error(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUE_TIMEOUT", "5m")
+        batch = TaskBatch(
+            tasks=[_probe("t0", {"value": 1})], jobs=1, queue_dir=str(tmp_path / "q")
+        )
+        with pytest.raises(EngineError, match="REPRO_QUEUE_TIMEOUT"):
+            get_executor("queue").run(batch)
+
+    def test_crash_retry_end_to_end(self, tmp_path):
+        """A task that kills its first worker is requeued and succeeds."""
+        root = str(tmp_path / "queue")
+        marker = str(tmp_path / "crashed-once")
+        batch = TaskBatch(
+            tasks=[
+                _probe("crashy", {"crash_unless": marker, "value": "recovered"}),
+                _probe("steady", {"value": "fine"}),
+            ],
+            jobs=1,
+            queue_dir=root,
+        )
+        outcome = get_executor("queue").run(batch)
+        assert outcome.results == ["recovered", "fine"]
+        assert os.path.exists(marker)
+
+    def test_repeated_crashes_become_infrastructure_failure(self, tmp_path):
+        # With the retry budget lowered to one attempt, the first worker
+        # crash already exhausts it: the batch must fail as infrastructure
+        # (ExecutorUnavailable -> serial fallback in the runtime) instead of
+        # looping on respawned workers.
+        root = str(tmp_path / "queue")
+        executor = get_executor("queue")
+        executor.max_attempts = 1
+        marker = str(tmp_path / "crash-marker")
+        batch = TaskBatch(
+            tasks=[_probe("crashy", {"crash_unless": marker, "value": "x"})],
+            jobs=1,
+            queue_dir=root,
+        )
+        with pytest.raises(ExecutorUnavailable, match="crashed its worker"):
+            executor.run(batch)
+
+    def test_solver_error_crosses_the_queue(self, tmp_path):
+        batch = TaskBatch(
+            tasks=[_probe("boom", {"raise": "intentional kaboom"})],
+            jobs=1,
+            queue_dir=str(tmp_path / "queue"),
+        )
+        with pytest.raises(EngineError, match="intentional kaboom"):
+            get_executor("queue").run(batch)
+
+    def test_shared_directory_is_cleaned_up(self, tmp_path):
+        root = str(tmp_path / "queue")
+        graph = multi_component_graph()
+        report = solve(
+            graph=graph, pattern=3, k=4, solver="exact",
+            jobs=2, executor="queue", queue_dir=root,
+        )
+        assert report.executor == "queue"
+        for sub in ("tasks", "claimed", "results"):
+            assert os.listdir(os.path.join(root, sub)) == []
+
+    def test_worker_module_cli(self, tmp_path):
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        filequeue.write_task(root, _probe("t0", {"value": 7}))
+        assert worker_main(["--queue", root, "--exit-when-empty"]) == 0
+        assert filequeue.try_load_result(root, "t0") == ("ok", 7)
+
+    def test_workers_subcommand(self, tmp_path):
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        for index in range(3):
+            filequeue.write_task(root, _probe(f"t{index}", {"value": index}))
+        assert cli_main(["workers", "--queue-dir", root, "--exit-when-empty"]) == 0
+        for index in range(3):
+            assert filequeue.try_load_result(root, f"t{index}") == ("ok", index)
+
+    def test_workers_subcommand_creates_fresh_directory(self, tmp_path):
+        # Attaching multiple workers to a queue directory that does not
+        # exist yet must create it, not crash on the missing log file.
+        root = str(tmp_path / "fresh")
+        assert cli_main(
+            ["workers", "--queue-dir", root, "--jobs", "2", "--exit-when-empty"]
+        ) == 0
+        for sub in ("tasks", "claimed", "results"):
+            assert os.path.isdir(os.path.join(root, sub))
+
+
+class TestFailureChannels:
+    """Infrastructure failures fall back (surfaced); solver bugs raise."""
+
+    def test_broken_pool_falls_back_to_identical_serial_output(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.engine.executors.process as process_module
+
+        class ExplodingPool:
+            def __init__(self, max_workers):
+                raise BrokenProcessPool("simulated dead pool")
+
+        monkeypatch.setattr(process_module, "ProcessPoolExecutor", ExplodingPool)
+        graph = multi_component_graph()
+        reference = solve(
+            graph=graph, pattern=3, k=4, solver="exact", jobs=1, executor="serial"
+        )
+        report = solve(
+            graph=graph, pattern=3, k=4, solver="exact", jobs=2, executor="process"
+        )
+        assert signature(report) == signature(reference)
+        assert report.executor == "serial"
+        assert report.jobs_used == 1
+        assert "BrokenProcessPool" in report.fallback_reason
+        assert "simulated dead pool" in report.fallback_reason
+
+    def test_pickling_failure_falls_back_to_identical_serial_output(self, monkeypatch):
+        import repro.engine.executors.process as process_module
+
+        class UnpicklablePool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, tasks):
+                raise pickle.PicklingError("simulated unpicklable payload")
+
+        monkeypatch.setattr(process_module, "ProcessPoolExecutor", UnpicklablePool)
+        graph = multi_component_graph()
+        reference = solve(graph=graph, pattern=3, k=4, solver="ippv", jobs=1)
+        report = solve(
+            graph=graph, pattern=3, k=4, solver="ippv", jobs=2, executor="process"
+        )
+        assert signature(report) == signature(reference)
+        assert report.executor == "serial"
+        assert "PicklingError" in report.fallback_reason
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_solver_exception_raises_engine_error_not_silent_retry(self, executor):
+        def exploding_solver(component, request):
+            raise ValueError("solver bug 0xdead")
+
+        register_solver(
+            SolverSpec(
+                name="explosive",
+                description="raises on every component (test only)",
+                solve=exploding_solver,
+                exact=False,
+                requires_k=True,
+            )
+        )
+        try:
+            graph = multi_component_graph()
+            with pytest.raises(EngineError, match="solver bug 0xdead"):
+                solve(
+                    graph=graph, pattern=3, k=2, solver="explosive",
+                    jobs=2, executor=executor,
+                )
+        finally:
+            unregister_solver("explosive")
+
+    def test_unregister_unknown_solver(self):
+        with pytest.raises(EngineError, match="not registered"):
+            unregister_solver("never-registered")
+
+    def test_task_failure_envelope_round_trips(self):
+        envelope = run_task_enveloped(_probe("t0", {"raise": "inner detail"}))
+        status, failure = envelope
+        assert status == "error"
+        rebuilt = pickle.loads(pickle.dumps(failure))
+        assert rebuilt.error_type == "RuntimeError"
+        assert "inner detail" in rebuilt.message
+        with pytest.raises(EngineError, match="inner detail"):
+            rebuilt.raise_as_engine_error()
+
+
+class TestReportSurface:
+    def test_report_records_backend_and_no_fallback(self):
+        graph = multi_component_graph()
+        report = solve(graph=graph, pattern=3, k=2, solver="exact", jobs=2,
+                       executor="thread", shards=1)
+        assert report.executor == "thread"
+        assert report.fallback_reason is None
+        payload = report.to_json_dict()
+        assert payload["executor"] == "thread"
+        assert payload["fallback_reason"] is None
+        assert payload["shards"] == 0
+
+    def test_cli_executor_flag(self, capsys):
+        assert cli_main(
+            ["topk", "--dataset", "HA", "--k", "2", "--executor", "thread",
+             "--jobs", "2", "--json"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"] == "thread"
+
+    def test_cli_executors_subcommand(self, capsys):
+        assert cli_main(["executors"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "thread", "process", "queue"):
+            assert name in out
