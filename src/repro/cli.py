@@ -99,6 +99,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(0 = auto, 1 = off; exact solver only)",
     )
     topk.add_argument(
+        "--verify-batch",
+        type=int,
+        default=0,
+        help="verification fan-out window for the ippv solver "
+        "(0 = auto, 1 = off, n >= 2 forces a window of n)",
+    )
+    topk.add_argument(
         "--queue-dir",
         default=None,
         help="backing directory for --executor queue (default: private tempdir)",
@@ -169,6 +176,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             executor=args.executor,
             shards=args.shards,
+            verify_batch=args.verify_batch,
             queue_dir=args.queue_dir,
             iterations=args.iterations,
             verification=args.verification,
@@ -199,9 +207,14 @@ def _cmd_topk(args: argparse.Namespace) -> int:
           f"(propose {timings.seq_kclist + timings.decomposition:.3f}s, "
           f"prune {timings.prune:.3f}s, verify {timings.verification:.3f}s)")
     sharded = f", {report.shards_used} shard(s)" if report.shards_used else ""
+    fanned = (
+        f", verify fan-out x{report.verify_batch_used}"
+        if report.verify_batch_used
+        else ""
+    )
     print(f"# engine: {pre.num_active_components}/{pre.num_components} components "
           f"solvable, {pre.num_skipped_components} skipped by bounds, "
-          f"{report.jobs_used} worker(s) via {report.executor}{sharded}")
+          f"{report.jobs_used} worker(s) via {report.executor}{sharded}{fanned}")
     if report.fallback_reason:
         print(f"# note: {report.fallback_reason}")
     return 0

@@ -29,8 +29,10 @@ from __future__ import annotations
 
 import abc
 import os
+import pickle
 import time
 import traceback
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, ClassVar, List, Optional, Tuple
@@ -42,6 +44,7 @@ from ..solvers import get_solver
 KIND_SOLVE = "solve"
 KIND_SHARD_SETUP = "shard-setup"
 KIND_SHARD_SOLVE = "shard-solve"
+KIND_VERIFY = "verify"
 KIND_PROBE = "probe"
 
 
@@ -53,6 +56,9 @@ class EngineTask:
 
     * ``solve`` / ``shard-setup`` — ``(component, scoped_request)``;
     * ``shard-solve`` — ``(component, scoped_request, setup_result, shard)``;
+    * ``verify`` — ``(verification_task,)``, a self-contained
+      :class:`~repro.lhcds.verify.VerificationTask` from the IPPV
+      verification fan-out;
     * ``probe`` — a plain dict, used by the test suite and queue smoke
       checks (see :func:`_run_probe`).
     """
@@ -89,6 +95,11 @@ class ExecutionOutcome:
     results: List[Optional[Any]]
     jobs_used: int = 1
     early_stopped: int = 0
+    #: How many times tasks had to be re-queued after their worker was
+    #: presumed dead (queue backend only; 0 everywhere else).  A healthy
+    #: batch — including slow tasks whose lease is kept alive by the
+    #: worker heartbeat — finishes with 0.
+    retries: int = 0
 
 
 @dataclass
@@ -109,6 +120,12 @@ class TaskFailure:
 
 class ExecutorUnavailable(EngineError):
     """The backend's infrastructure failed; the runtime should fall back."""
+
+
+#: The exceptions that mean "the worker pool's infrastructure failed" (as
+#: opposed to a task raising): the one copy of the contract shared by the
+#: process backend and the IPPV verification driver's persistent pool.
+POOL_INFRA_EXCEPTIONS = (OSError, PermissionError, BrokenProcessPool, pickle.PicklingError)
 
 
 class Executor(abc.ABC):
@@ -136,8 +153,13 @@ def _run_probe(payload: dict) -> Any:
     ``crash_unless`` names a marker file: when absent the probe creates it
     and kills the worker process without writing a result — exactly what a
     crashed worker looks like to the queue coordinator, which is what the
-    crash-retry tests exercise.
+    crash-retry tests exercise.  ``append_to`` appends one line to a file
+    per execution, so tests can count how many times a task actually ran
+    (the lease-renewal tests assert exactly once).
     """
+    if payload.get("append_to"):
+        with open(payload["append_to"], "a", encoding="utf-8") as handle:
+            handle.write("ran\n")
     if payload.get("sleep"):
         time.sleep(payload["sleep"])
     if payload.get("raise"):
@@ -154,6 +176,9 @@ def execute_task(task: EngineTask) -> Any:
     """Run one task to completion; exceptions propagate to the caller."""
     if task.kind == KIND_PROBE:
         return _run_probe(task.payload[0])
+    if task.kind == KIND_VERIFY:
+        (verification_task,) = task.payload
+        return verification_task.run()
     spec = get_solver(task.solver)
     if task.kind == KIND_SOLVE:
         component, request = task.payload

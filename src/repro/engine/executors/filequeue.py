@@ -22,6 +22,16 @@ The protocol relies only on atomic ``rename`` within one filesystem:
   number of attempts per task turns systematic worker death into
   :class:`ExecutorUnavailable` (serial fallback) instead of an infinite
   loop.
+* **lease renewal** — while a task executes, its worker re-stamps the
+  claim file's mtime every ``REPRO_QUEUE_HEARTBEAT`` seconds (default: a
+  quarter of the lease), so a *long* task — an IPPV verification batch
+  full of max-flows, say — keeps its lease alive for as long as it keeps
+  running.  Without renewal, any task outliving the lease was reclaimed
+  while still executing and ran (and could commit its result) twice;
+  with it, the lease only expires when the heartbeat actually stopped —
+  the worker is dead or unreachable, which is exactly what the lease is
+  for.  Coordinators judge staleness by the *last heartbeat* (the claim
+  mtime), never by how long the task has been running.
 
 Workers are plain processes running :mod:`repro.engine.worker` — the
 coordinator spawns local ones, but any process that can reach the
@@ -43,6 +53,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 import uuid
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
@@ -70,6 +81,48 @@ _HOSTNAME = re.sub(r"[^A-Za-z0-9_-]", "-", socket.gethostname()) or "localhost"
 #: Seconds after which a foreign host's claim counts as abandoned.
 DEFAULT_LEASE_SECONDS = 120.0
 
+#: Floor for the heartbeat interval so very short leases do not spin.
+MIN_HEARTBEAT_SECONDS = 0.05
+
+
+def _env_seconds(name: str, default: float) -> float:
+    """Parse a seconds knob from the environment (empty/unset = default)."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise EngineError(
+            f"{name} must be a number of seconds, got {raw!r}"
+        ) from None
+
+
+def queue_lease_seconds() -> float:
+    """The effective ``REPRO_QUEUE_LEASE`` value."""
+    return _env_seconds("REPRO_QUEUE_LEASE", DEFAULT_LEASE_SECONDS)
+
+
+def queue_heartbeat_seconds() -> float:
+    """The effective ``REPRO_QUEUE_HEARTBEAT`` value (0 disables renewal).
+
+    Defaults to a quarter of the lease, so a claim survives several missed
+    beats (scheduler stalls, slow shared mounts) before its lease expires.
+    Explicit positive values are floored at :data:`MIN_HEARTBEAT_SECONDS`
+    so a typo cannot turn the renewal thread into a spin on a shared
+    mount; negative values are rejected rather than silently disabling
+    renewal (that is what ``0`` is for).
+    """
+    default = max(queue_lease_seconds() / 4.0, MIN_HEARTBEAT_SECONDS)
+    value = _env_seconds("REPRO_QUEUE_HEARTBEAT", default)
+    if value < 0:
+        raise EngineError(
+            f"REPRO_QUEUE_HEARTBEAT must be >= 0 (0 disables renewal), got {value}"
+        )
+    if value == 0:
+        return 0.0
+    return max(value, MIN_HEARTBEAT_SECONDS)
+
 
 def ensure_queue(root: str) -> None:
     """Create the queue directory layout (idempotent)."""
@@ -94,26 +147,41 @@ def write_task(root: str, task: EngineTask) -> None:
     _atomic_write(os.path.join(root, "tasks", task.id + TASK_SUFFIX), task)
 
 
-def claim_next(root: str, pid: int) -> Optional[Tuple[EngineTask, str]]:
+def claim_next(
+    root: str, pid: int, hostname: Optional[str] = None
+) -> Optional[Tuple[EngineTask, str]]:
     """Claim the lexicographically first pending task, or ``None``.
 
     Returns the task plus the claim path the worker must remove once the
     result is written.  Losing a rename race to another worker is normal —
-    the next candidate is tried.
+    the next candidate is tried.  ``hostname`` overrides the recorded claim
+    owner (tests use it to simulate workers on other machines).
     """
     tasks_dir = os.path.join(root, "tasks")
     try:
         names = sorted(os.listdir(tasks_dir))
     except FileNotFoundError:
         return None
+    owner_host = hostname or _HOSTNAME
     for name in names:
         if not name.endswith(TASK_SUFFIX):
             continue
-        claim_path = os.path.join(root, "claimed", f"{name}.{_HOSTNAME}.{pid}")
+        claim_path = os.path.join(root, "claimed", f"{name}.{owner_host}.{pid}")
         try:
             os.rename(os.path.join(tasks_dir, name), claim_path)
         except (FileNotFoundError, PermissionError):
             continue  # another worker won the race
+        try:
+            # rename() preserves the task file's mtime, which may be as old
+            # as the backlog: stamp the claim now so its lease starts at
+            # claim time, not at submission time.  Without this, a task
+            # that waited in ``tasks/`` longer than the lease would be
+            # reclaimed the instant it was claimed — before the first
+            # heartbeat — and run twice.
+            now = time.time()
+            os.utime(claim_path, (now, now))
+        except OSError:
+            pass
         try:
             with open(claim_path, "rb") as handle:
                 task = pickle.load(handle)
@@ -159,14 +227,16 @@ def reclaim_stale(
     Same-host claims are probed directly (``live_pids`` narrows the check
     to a known worker set; without it ``os.kill(pid, 0)``).  Claims from
     other hosts — pids cannot be probed across machines — are treated as
-    leases: reclaimed only once their claim file is older than
-    ``lease_seconds`` (default ``REPRO_QUEUE_LEASE``, then 120s).  Returns
-    the requeued task ids.
+    leases: reclaimed only once their claim file's mtime is older than
+    ``lease_seconds`` (default ``REPRO_QUEUE_LEASE``, then 120s).  Running
+    workers re-stamp that mtime every heartbeat (see :func:`worker_loop`),
+    so lease age measures *silence*, not task duration — a slow task with
+    a live worker is never reclaimed, which is what makes re-execution
+    (and double result commits) impossible while the worker is healthy.
+    Returns the requeued task ids.
     """
     if lease_seconds is None:
-        lease_seconds = float(
-            os.environ.get("REPRO_QUEUE_LEASE", DEFAULT_LEASE_SECONDS)
-        )
+        lease_seconds = queue_lease_seconds()
     claimed_dir = os.path.join(root, "claimed")
     requeued: List[str] = []
     try:
@@ -213,33 +283,73 @@ def _unlink_quietly(path: str) -> None:
         pass
 
 
+def _renew_claim(claim_path: str, stop: threading.Event, interval: float) -> None:
+    """Re-stamp the claim's mtime every ``interval`` seconds until stopped.
+
+    If the claim file vanishes (a coordinator cleaned the run up, or an
+    over-eager reclaim already moved it) the heartbeat simply ends — the
+    worker still publishes its result, and the coordinator's finished-task
+    check keeps a reclaimed-but-finished task from running again.
+    """
+    while not stop.wait(interval):
+        try:
+            now = time.time()
+            os.utime(claim_path, (now, now))
+        except OSError:
+            return
+
+
 def worker_loop(
     root: str,
     *,
     poll_seconds: float = 0.1,
     max_tasks: Optional[int] = None,
     exit_when_empty: bool = False,
+    heartbeat: Optional[float] = None,
+    hostname: Optional[str] = None,
 ) -> int:
     """Claim-execute-publish until stopped; returns the number of tasks run.
 
     This is the whole worker: :mod:`repro.engine.worker` is a thin argv
     wrapper around it.  Imported lazily so the worker process does not pay
     for it before the first claim.
+
+    While a task executes, a daemon thread renews the claim's lease every
+    ``heartbeat`` seconds (default ``REPRO_QUEUE_HEARTBEAT``, then a
+    quarter of ``REPRO_QUEUE_LEASE``; 0 disables renewal), so tasks that
+    outlive the lease are not reclaimed — and re-executed — while still
+    running.  ``hostname`` overrides the claim owner recorded on disk
+    (tests use it to exercise the foreign-host lease path).
     """
     from .base import run_task_enveloped
 
     ensure_queue(root)
     pid = os.getpid()
+    interval = queue_heartbeat_seconds() if heartbeat is None else heartbeat
     completed = 0
     while True:
-        claimed = claim_next(root, pid)
+        claimed = claim_next(root, pid, hostname=hostname)
         if claimed is None:
             if exit_when_empty:
                 return completed
             time.sleep(poll_seconds)
             continue
         task, claim_path = claimed
-        envelope = run_task_enveloped(task)
+        stop = threading.Event()
+        beat: Optional[threading.Thread] = None
+        if interval > 0:
+            beat = threading.Thread(
+                target=_renew_claim,
+                args=(claim_path, stop, interval),
+                daemon=True,
+            )
+            beat.start()
+        try:
+            envelope = run_task_enveloped(task)
+        finally:
+            stop.set()
+            if beat is not None:
+                beat.join(timeout=5)
         write_result(root, task.id, envelope)
         _unlink_quietly(claim_path)
         completed += 1
@@ -334,7 +444,7 @@ class QueueExecutor(Executor):
                         f"task {task.id!r} cannot be serialised for the queue "
                         f"({type(exc).__name__}: {exc})"
                     ) from exc
-            envelopes = self._drain(
+            envelopes, retries = self._drain(
                 root, tasks, jobs=jobs, timeout=timeout, workers=workers
             )
         finally:
@@ -353,6 +463,7 @@ class QueueExecutor(Executor):
         return ExecutionOutcome(
             results=[unwrap_envelope(envelopes[task.id]) for task in tasks],
             jobs_used=jobs,
+            retries=retries,
         )
 
     # ------------------------------------------------------------------
@@ -364,12 +475,18 @@ class QueueExecutor(Executor):
         jobs: int,
         timeout: float,
         workers: List[subprocess.Popen],
-    ) -> Dict[str, Tuple[str, Any]]:
-        """Spawn workers and collect every envelope, retrying crashed tasks."""
+    ) -> Tuple[Dict[str, Tuple[str, Any]], int]:
+        """Spawn workers and collect every envelope, retrying crashed tasks.
+
+        Returns the envelopes plus how many re-queues happened — 0 for a
+        healthy batch, including batches of slow tasks whose workers kept
+        their leases alive via the heartbeat.
+        """
         deadline = time.monotonic() + timeout
         attempts: Dict[str, int] = {task.id: 1 for task in tasks}
         pending: Set[str] = set(attempts)
         envelopes: Dict[str, Tuple[str, Any]] = {}
+        retries = 0
         spawned = 0
         spawn_budget = jobs + self.max_attempts * len(tasks)
         # REPRO_QUEUE_SPAWN=0 keeps the coordinator from starting local
@@ -397,6 +514,7 @@ class QueueExecutor(Executor):
                 if task_id not in pending:
                     continue
                 attempts[task_id] += 1
+                retries += 1
                 if attempts[task_id] > self.max_attempts:
                     raise ExecutorUnavailable(
                         f"queue task {task_id!r} crashed its worker "
@@ -413,7 +531,7 @@ class QueueExecutor(Executor):
                 workers.append(spawn_worker(root))
                 spawned += 1
             time.sleep(0.02)
-        return envelopes
+        return envelopes, retries
 
     @staticmethod
     def _unclaimed(root: str, pending: Iterable[str]) -> List[str]:

@@ -63,6 +63,23 @@ class SolveRequest:
         (default) uses a private temporary directory; point it at a shared
         directory to let externally started workers
         (``python -m repro.engine.worker --queue DIR``) claim tasks.
+    verify_batch:
+        Verification fan-out window for solvers that support it (currently
+        ``ippv``): the driver verifies up to this many priority-queue
+        candidates per dispatched batch instead of one at a time.  ``0``
+        (default) auto-enables a window of 8 on the dominant component
+        when ``jobs > 1``; ``1`` disables the fan-out; ``n >= 2`` forces a
+        window of ``n`` on every component.  Output — and the verification
+        statistics — are bit-identical for every window.
+    verify_executor / verify_jobs:
+        Backend name and worker count for the verification batches.  The
+        defaults (``None`` / ``0``) inherit the run's resolved executor
+        and ``jobs`` — except ``queue``, whose verification batches
+        default to the local ``process`` pool (dispatching them back into
+        the queue could starve when every worker is busy solving); set
+        ``verify_executor="queue"`` explicitly to ship batches to queue
+        workers.  Both can be overridden to, say, verify on threads while
+        components run in processes.
     iterations / verification / prune:
         Solver options (consumed by the solvers that understand them; the
         names match :class:`~repro.lhcds.ippv.IPPVConfig`).
@@ -83,6 +100,9 @@ class SolveRequest:
     executor: Optional[str] = None
     shards: int = 0
     queue_dir: Optional[str] = None
+    verify_batch: int = 0
+    verify_executor: Optional[str] = None
+    verify_jobs: int = 0
     iterations: int = 20
     verification: str = "fast"
     prune: bool = True
@@ -97,6 +117,14 @@ class SolveRequest:
             raise EngineError(f"jobs must be >= 0 (0 = one per CPU), got {self.jobs}")
         if self.shards < 0:
             raise EngineError(f"shards must be >= 0 (0 = auto, 1 = off), got {self.shards}")
+        if self.verify_batch < 0:
+            raise EngineError(
+                f"verify_batch must be >= 0 (0 = auto, 1 = off), got {self.verify_batch}"
+            )
+        if self.verify_jobs < 0:
+            raise EngineError(
+                f"verify_jobs must be >= 0 (0 = inherit jobs), got {self.verify_jobs}"
+            )
         if self.verification not in {"fast", "basic"}:
             raise EngineError(
                 f"verification must be 'fast' or 'basic', got {self.verification!r}"
@@ -108,8 +136,21 @@ class SolveRequest:
         return self.pattern.size
 
     def for_component(self, subgraph: Graph) -> "SolveRequest":
-        """A copy of the request scoped to one component (always serial)."""
-        return dataclasses.replace(self, graph=subgraph, jobs=1, executor=None)
+        """A copy of the request scoped to one component (always serial).
+
+        The verification fan-out fields are reset to "off"; the runtime's
+        fan-out plan re-enables them — with the resolved backend and worker
+        count — on exactly the components it selects.
+        """
+        return dataclasses.replace(
+            self,
+            graph=subgraph,
+            jobs=1,
+            executor=None,
+            verify_batch=1,
+            verify_executor=None,
+            verify_jobs=1,
+        )
 
 
 @dataclass
@@ -187,6 +228,9 @@ class SolveReport(LhCDSResult):
     #: Intra-component sub-tasks the dominant component was split into
     #: (0 = the sharded path was not taken).
     shards_used: int = 0
+    #: Verification fan-out window actually applied to IPPV components
+    #: (0 = the fan-out was off).
+    verify_batch_used: int = 0
     preprocessing: PreprocessStats = field(default_factory=PreprocessStats)
     #: Wall-clock seconds spent solving components (sum lives in ``timings``).
     solve_seconds: float = 0.0
@@ -202,6 +246,7 @@ class SolveReport(LhCDSResult):
             "executor": self.executor,
             "fallback_reason": self.fallback_reason,
             "shards": self.shards_used,
+            "verify_batch": self.verify_batch_used,
             "subgraphs": [
                 {
                     "rank": rank,

@@ -15,7 +15,13 @@ The runtime turns a :class:`SolveRequest` into a :class:`SolveReport`:
    currently ``exact``): when one component's estimated cost dominates the
    rest — or the request forces it — its candidate space is split into
    deterministic sub-tasks (setup once, then one task per shard) whose
-   merge reproduces the unsharded output exactly.
+   merge reproduces the unsharded output exactly.  Solvers flagged
+   ``verify_fanout`` (currently ``ippv``) get the analogous
+   **verification fan-out plan** under the same dominance rule: the
+   component-scoped request carries a look-ahead window / backend /
+   worker count, and the solver dispatches its per-candidate verification
+   flows as ``verify`` tasks — the engine's third parallel axis
+   (components → exact shards → verification batches).
 5. Execute the task batch on the resolved backend — ``serial``, ``thread``,
    ``process``, or ``queue`` (see :mod:`repro.engine.executors`), chosen by
    ``SolveRequest.executor``, the ``REPRO_EXECUTOR`` environment variable,
@@ -38,7 +44,7 @@ from typing import List, Optional, Tuple
 
 from ..errors import EngineError
 from ..lhcds.ippv import DenseSubgraph, LhCDSResult, StageTimings
-from ..lhcds.verify import VerificationStats
+from ..lhcds.verify import VerificationStats, merge_verification_stats
 from .executors import (
     EngineTask,
     ExecutionOutcome,
@@ -50,8 +56,11 @@ from .executors import (
 from .executors.base import KIND_SHARD_SETUP, KIND_SHARD_SOLVE, KIND_SOLVE
 from .preprocess import preprocess
 from .request import PreparedComponent, SolveReport, SolveRequest, merge_key
-from .sharding import estimated_cost
+from .sharding import dominant_position
 from .solvers import SolverSpec, get_solver
+
+#: Auto verification fan-out window (``SolveRequest.verify_batch == 0``).
+DEFAULT_VERIFY_WINDOW = 8
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,6 +69,16 @@ class _ShardPlan:
 
     position: int  # index into the selected component list
     shards: int
+
+
+@dataclasses.dataclass(frozen=True)
+class _VerifyPlan:
+    """Which components fan their verification stage out, and how."""
+
+    window: int
+    jobs: int
+    executor: str
+    positions: frozenset  # indices into the selected component list
 
 
 def _select_components(
@@ -109,18 +128,23 @@ def _plan_sharding(
     """
     if spec.sharding is None or not components or request.shards == 1:
         return None
-    costs = [estimated_cost(comp) for comp in components]
-    position = max(range(len(components)), key=lambda i: (costs[i], -i))
+    position, dominates = dominant_position(components)
     if request.shards >= 2:
         return _ShardPlan(position=position, shards=request.shards)
     if jobs <= 1:
         return None
-    if costs[position] * 2 < sum(costs):
+    if not dominates:
         return None  # no dominant component: component parallelism suffices
     return _ShardPlan(position=position, shards=jobs)
 
 
-def _resolve_executor(request: SolveRequest, jobs: int, num_tasks: int, sharded: bool) -> str:
+def _resolve_executor(
+    request: SolveRequest,
+    jobs: int,
+    num_tasks: int,
+    sharded: bool,
+    verify_fanout: bool = False,
+) -> str:
     """Pick the backend: explicit request, then REPRO_EXECUTOR, then auto."""
     name = request.executor
     if name is None:
@@ -133,8 +157,62 @@ def _resolve_executor(request: SolveRequest, jobs: int, num_tasks: int, sharded:
                 f"{', '.join(available_executors())}"
             )
         return key
-    parallelisable = num_tasks > 1 or sharded
+    parallelisable = num_tasks > 1 or sharded or verify_fanout
     return "process" if jobs > 1 and parallelisable else "serial"
+
+
+def _plan_verify_fanout(
+    spec: SolverSpec,
+    components: List[PreparedComponent],
+    request: SolveRequest,
+    jobs: int,
+    executor_name: str,
+) -> Optional[_VerifyPlan]:
+    """Decide where the verification fan-out applies (solvers that support it).
+
+    ``request.verify_batch``: ``1`` disables, ``n >= 2`` forces a window of
+    ``n`` on every component, and ``0`` (auto) applies a window of
+    :data:`DEFAULT_VERIFY_WINDOW` to the dominant component when more than
+    one verification worker is available.  Like sharding, the plan depends
+    only on the precomputed components — fanned-out and serial verification
+    produce bit-identical output *and* statistics, the choice only moves
+    the flow computations.
+    """
+    if not spec.verify_fanout or not components or request.verify_batch == 1:
+        return None
+    verify_jobs = request.verify_jobs if request.verify_jobs > 0 else jobs
+    # Verification batches are in-memory slices of a component solve; when
+    # that solve itself runs inside a queue worker, dispatching them back
+    # into a queue can starve (with REPRO_QUEUE_SPAWN=0 every worker may be
+    # busy solving, leaving nobody to claim the nested batch until the
+    # queue timeout).  The inherited default is therefore the local
+    # process pool; an explicit verify_executor="queue" still ships the
+    # batches to queue workers.
+    inherited = "process" if executor_name == "queue" else executor_name
+    verify_executor = request.verify_executor or inherited
+    if verify_executor not in available_executors():
+        raise EngineError(
+            f"unknown verify executor {verify_executor!r}; available: "
+            f"{', '.join(available_executors())}"
+        )
+    if request.verify_batch >= 2:
+        return _VerifyPlan(
+            window=request.verify_batch,
+            jobs=verify_jobs,
+            executor=verify_executor,
+            positions=frozenset(range(len(components))),
+        )
+    if verify_jobs <= 1:
+        return None
+    position, dominates = dominant_position(components)
+    if not dominates:
+        return None  # component parallelism already covers the run
+    return _VerifyPlan(
+        window=DEFAULT_VERIFY_WINDOW,
+        jobs=verify_jobs,
+        executor=verify_executor,
+        positions=frozenset({position}),
+    )
 
 
 def _run_batch(
@@ -183,9 +261,17 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
 
     jobs = request.jobs if request.jobs > 0 else (os.cpu_count() or 1)
     plan = _plan_sharding(spec, components, request, jobs)
-    executor_name = _resolve_executor(
-        request, jobs, num_tasks=len(components), sharded=plan is not None
+    fanout_requested = spec.verify_fanout and request.verify_batch != 1 and (
+        request.verify_batch >= 2 or jobs > 1 or request.verify_jobs > 1
     )
+    executor_name = _resolve_executor(
+        request,
+        jobs,
+        num_tasks=len(components),
+        sharded=plan is not None,
+        verify_fanout=fanout_requested,
+    )
+    verify_plan = _plan_verify_fanout(spec, components, request, jobs, executor_name)
 
     # ------------------------------------------------------------------
     # round 1: one task per component (the sharded component contributes
@@ -194,6 +280,13 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
     tasks: List[EngineTask] = []
     for index, comp in enumerate(components):
         scoped = request.for_component(comp.subgraph)
+        if verify_plan is not None and index in verify_plan.positions:
+            scoped = dataclasses.replace(
+                scoped,
+                verify_batch=verify_plan.window,
+                verify_executor=verify_plan.executor,
+                verify_jobs=verify_plan.jobs,
+            )
         if plan is not None and index == plan.position:
             tasks.append(
                 EngineTask(
@@ -290,12 +383,7 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
         timings.prune += t.prune
         timings.verification += t.verification
         timings.enumeration += t.enumeration
-        v = result.verification
-        verification.is_densest_calls += v.is_densest_calls
-        verification.flow_verifications += v.flow_verifications
-        verification.short_circuit_true += v.short_circuit_true
-        verification.short_circuit_false += v.short_circuit_false
-        verification.closure_sizes.extend(v.closure_sizes)
+        merge_verification_stats(verification, result.verification)
         candidates_examined += result.candidates_examined
         refinements += result.refinements
         exact_splits += result.exact_splits
@@ -321,6 +409,7 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
         executor=executor_used,
         fallback_reason=fallback_reason,
         shards_used=shards_used,
+        verify_batch_used=verify_plan.window if verify_plan is not None else 0,
         preprocessing=stats,
         solve_seconds=solve_seconds,
     )

@@ -69,6 +69,22 @@ def estimated_cost(component: PreparedComponent) -> int:
     )
 
 
+def dominant_position(components: Sequence[PreparedComponent]) -> Tuple[int, bool]:
+    """The most expensive component, and whether it dominates the run.
+
+    "Dominates" means its estimated cost is at least the rest of the run
+    combined — the regime where component-level parallelism stops helping
+    and the intra-component axes (exact sharding, IPPV verification
+    fan-out) take over.  The decision depends only on the precomputed
+    components, never on execution order, so every backend plans — and
+    therefore answers — identically.
+    """
+    costs = [estimated_cost(component) for component in components]
+    position = max(range(len(components)), key=lambda i: (costs[i], -i))
+    dominates = len(components) == 1 or costs[position] * 2 >= sum(costs)
+    return position, dominates
+
+
 # ----------------------------------------------------------------------
 # exact solver: shard the decomposition's density levels
 # ----------------------------------------------------------------------

@@ -55,6 +55,9 @@ class SolverSpec:
     #: Intra-component sharding hooks, or None when the solver only runs
     #: whole components (see :mod:`repro.engine.sharding`).
     sharding: Optional[ShardHooks] = None
+    #: Whether the solver can fan its verification stage out across the
+    #: execution backends (``SolveRequest.verify_batch``; currently IPPV).
+    verify_fanout: bool = False
 
     def validate(self, request: SolveRequest) -> None:
         """Raise :class:`EngineError` when the request does not fit."""
@@ -107,6 +110,12 @@ def _solve_ippv(component: PreparedComponent, request: SolveRequest) -> LhCDSRes
         iterations=request.iterations,
         verification=request.verification,
         prune=request.prune,
+        # Verification fan-out: the runtime's plan rewrites these on the
+        # component-scoped request (off by default, see for_component).
+        verify_executor=request.verify_executor,
+        verify_batch=max(1, request.verify_batch),
+        verify_jobs=max(1, request.verify_jobs),
+        verify_queue_dir=request.queue_dir,
     )
     solver = IPPV(
         component.subgraph,
@@ -162,6 +171,7 @@ register_solver(
         solve=_solve_ippv,
         exact=True,
         internal_prune=True,
+        verify_fanout=True,
     )
 )
 register_solver(

@@ -44,6 +44,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit as soon as no pending task is available",
     )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        help="seconds between claim lease renewals while a task runs "
+        "(default: $REPRO_QUEUE_HEARTBEAT, then a quarter of the lease; "
+        "0 disables renewal)",
+    )
     return parser
 
 
@@ -56,6 +64,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             poll_seconds=args.poll,
             max_tasks=args.max_tasks,
             exit_when_empty=args.exit_when_empty,
+            heartbeat=args.heartbeat,
         )
     except KeyboardInterrupt:
         return 0

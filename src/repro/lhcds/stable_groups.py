@@ -23,8 +23,20 @@ from .bounds import CompactBounds
 from .decomposition import TentativeDecomposition
 from .seq_kclist import WeightState
 
-#: Slack applied to floating-point comparisons so that rounding noise can
-#: only make the algorithm more conservative (merge more / prune less).
+#: The repository's single floating-point slack constant.
+#:
+#: Inexact data enters the exact pipeline in exactly one place: the
+#: Frank–Wolfe ``r`` values of SEQ-kClist++, consumed here by the
+#: Definition-6 stability checks and the Theorem-4 bound tightening.  The
+#: slack is applied *at that boundary only* — group ranges widen by it,
+#: upper bounds are padded up by it, lower bounds down — so that rounding
+#: noise can only make the algorithm more conservative (merge more, prune
+#: less, keep bounds sound).  Everything downstream of the boundary
+#: (closure membership and short-circuit tests in ``verify``, heap
+#: priorities and the certified early stop in ``ippv``) compares the
+#: resulting sound bounds against exact :class:`~fractions.Fraction`
+#: densities directly: Python's ``float``-vs-``Fraction`` comparison is
+#: exact, so no further epsilon may appear on those paths.
 FLOAT_SLACK = 1e-9
 
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, List, Optional, Set
+from typing import FrozenSet, Iterable, List, Optional, Set
 
 from ..errors import AlgorithmError
 from ..flow.network import solve_compact_network
@@ -35,7 +35,6 @@ from ..graph.components import connected_components
 from ..graph.graph import Graph, Vertex
 from ..instances import InstanceSet
 from .bounds import CompactBounds
-from .stable_groups import FLOAT_SLACK
 
 
 @dataclass
@@ -47,6 +46,15 @@ class VerificationStats:
     short_circuit_true: int = 0
     short_circuit_false: int = 0
     closure_sizes: List[int] = field(default_factory=list)
+
+
+def merge_verification_stats(total: VerificationStats, delta: VerificationStats) -> None:
+    """Accumulate ``delta`` into ``total`` (counters add, closure sizes append)."""
+    total.is_densest_calls += delta.is_densest_calls
+    total.flow_verifications += delta.flow_verifications
+    total.short_circuit_true += delta.short_circuit_true
+    total.short_circuit_false += delta.short_circuit_false
+    total.closure_sizes.extend(delta.closure_sizes)
 
 
 def is_densest(instances: InstanceSet, candidate: Iterable[Vertex]) -> bool:
@@ -137,16 +145,24 @@ def compact_closure(
     upper bound is at least ``rho`` therefore covers the entire connected
     component of the maximal ``rho``-compact region that contains the
     candidate — which is all the basic verifier ever inspects.
+
+    The membership test is the *exact* comparison ``upper_of(u) >= rho``
+    (Python compares ``float`` and :class:`~fractions.Fraction` without
+    rounding).  Stored upper bounds are already sound real-number bounds:
+    the only inexact data that ever enters them — the Frank–Wolfe ``r``
+    values — is padded with :data:`~repro.lhcds.stable_groups.FLOAT_SLACK`
+    at the boundary (``DeriveSG``), so no additional epsilon is needed
+    here; an earlier ad-hoc ``rho - 1e-9`` threshold merely inflated the
+    closure.
     """
     closure: Set[Vertex] = set(candidate)
     frontier: List[Vertex] = list(candidate)
-    threshold = rho - Fraction(1, 10**9)
     while frontier:
         v = frontier.pop()
         for u in graph.neighbors(v):
             if u in closure:
                 continue
-            if bounds.upper_of(u) >= threshold:
+            if bounds.upper_of(u) >= rho:
                 closure.add(u)
                 frontier.append(u)
     return closure
@@ -177,12 +193,15 @@ def verify_fast(
     # ``output_vertices`` hint of Algorithm 5 is intentionally not used as a
     # rejection here because this driver does not guarantee strictly
     # descending output densities; the flow check below covers that case.)
+    # The comparison is exact: stored lower bounds are sound (float data is
+    # padded with FLOAT_SLACK where it enters, in DeriveSG), so any extra
+    # slack here would only miss valid rejections.
     del output_vertices
     for v in subset:
         for u in graph.neighbors(v):
             if u in subset:
                 continue
-            if bounds.lower_of(u) > rho + FLOAT_SLACK:
+            if bounds.lower_of(u) > rho:
                 if stats is not None:
                     stats.short_circuit_false += 1
                 return False
@@ -203,3 +222,103 @@ def verify_fast(
     if stats is not None:
         stats.flow_verifications += 1
     return _is_component_of(graph, subset, region)
+
+
+# ----------------------------------------------------------------------
+# self-contained verification tasks (the IPPV fan-out payload)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VerificationVerdict:
+    """The outcome of one candidate's verification, plus its work counters.
+
+    ``stats`` is a *delta*: exactly the counters the serial driver would
+    have accumulated while examining this candidate.  The driver merges a
+    verdict's delta only when the verdict is actually consumed, so
+    speculative work never shows up in the reported statistics.
+    """
+
+    candidate: FrozenSet[Vertex]
+    densest: bool
+    verified: bool
+    stats: VerificationStats
+
+
+@dataclass(frozen=True)
+class VerificationTask:
+    """A picklable, self-contained verification of one candidate.
+
+    The task carries its own slice of the world: the subgraph induced on
+    the candidate's compact closure (the whole component for the ``basic``
+    verifier), the instance set restricted to that region, and the
+    compact-number bounds of the region's vertices.  Because ``IsDensest``
+    and both maximal-compactness verifiers only ever inspect the closure,
+    running them against the slice returns *exactly* the verdict — and
+    exactly the stats — the serial driver computes against the full
+    component, while the payload stays small enough to ship to a process
+    pool or a file-backed queue worker.
+    """
+
+    candidate: FrozenSet[Vertex]
+    graph: Graph
+    instances: InstanceSet
+    bounds: CompactBounds
+    mode: str = "fast"
+
+    def run(self) -> VerificationVerdict:
+        """Execute the verification; mirrors one serial driver iteration."""
+        stats = VerificationStats()
+        stats.is_densest_calls += 1
+        densest = is_densest(self.instances, self.candidate)
+        verified = False
+        if densest:
+            if self.mode == "basic":
+                verified = verify_basic(
+                    self.graph, self.instances, self.candidate, stats=stats
+                )
+            else:
+                verified = verify_fast(
+                    self.graph, self.instances, self.candidate, self.bounds, stats=stats
+                )
+        return VerificationVerdict(
+            candidate=self.candidate, densest=densest, verified=verified, stats=stats
+        )
+
+
+def make_verification_task(
+    graph: Graph,
+    instances: InstanceSet,
+    bounds: CompactBounds,
+    candidate: Iterable[Vertex],
+    mode: str = "fast",
+) -> VerificationTask:
+    """Slice out everything one candidate's verification needs.
+
+    For the ``fast`` verifier the slice is the candidate's compact closure:
+    every vertex any stage of :func:`verify_fast` can touch lies inside it
+    (the short-circuit only rejects on neighbours ``u`` with
+    ``lower_of(u) > rho``, and such vertices satisfy ``upper_of(u) >= rho``,
+    so they are in the closure), and the closure is BFS-closed, so
+    recomputing it inside the slice reproduces the same set.  For the
+    ``basic`` verifier the slice is the whole (component) graph.
+    """
+    subset = frozenset(candidate)
+    if not subset:
+        raise AlgorithmError("cannot build a verification task for the empty candidate")
+    rho = Fraction(instances.count_within(subset), len(subset))
+    if mode == "basic":
+        region = set(graph.vertices())
+        region_graph = graph
+    else:
+        region = compact_closure(graph, bounds, set(subset), rho)
+        region_graph = graph.induced_subgraph(region)
+    sliced = CompactBounds(
+        lower={v: bounds.lower[v] for v in region if v in bounds.lower},
+        upper={v: bounds.upper[v] for v in region if v in bounds.upper},
+    )
+    return VerificationTask(
+        candidate=subset,
+        graph=region_graph,
+        instances=instances.restrict(region),
+        bounds=sliced,
+        mode=mode,
+    )

@@ -347,6 +347,227 @@ class TestQueueProtocol:
             assert os.path.isdir(os.path.join(root, sub))
 
 
+class TestVerificationFanout:
+    """The IPPV verification fan-out: bit-identical output *and* identical
+    verification statistics for every backend x jobs x window combination
+    (the tentpole acceptance criterion)."""
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS)
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("window", [1, 8])
+    def test_ippv_fanout_bit_identical(self, executor, jobs, window):
+        graph = multi_component_graph()
+        reference = solve(
+            graph=graph, pattern=3, k=4, solver="ippv",
+            jobs=1, executor="serial", verify_batch=1,
+        )
+        report = solve(
+            graph=graph, pattern=3, k=4, solver="ippv",
+            jobs=jobs, executor=executor, verify_batch=window,
+        )
+        assert signature(report) == signature(reference)
+        assert report.executor == executor
+        assert report.fallback_reason is None
+        assert report.verify_batch_used == (window if window >= 2 else 0)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_verification_stats_identical_serial_vs_fanout(self, executor):
+        # k=None keeps the serial run from early-stopping whole components,
+        # so both runs must do — and report — *exactly* the same
+        # verification work, in the same order.
+        graph = _dominant_component_graph()
+        reference = solve(
+            graph=graph, pattern=3, k=None, solver="ippv",
+            jobs=1, executor="serial", verify_batch=1,
+        )
+        fanned = solve(
+            graph=graph, pattern=3, k=None, solver="ippv",
+            jobs=4, executor=executor, verify_batch=8,
+        )
+        assert signature(fanned) == signature(reference)
+        assert fanned.verification == reference.verification
+        assert fanned.candidates_examined == reference.candidates_examined
+
+    def test_auto_fanout_triggers_on_dominant_component(self):
+        graph = _dominant_component_graph()
+        serial = solve(
+            graph=graph, pattern=3, k=5, solver="ippv", jobs=1, verify_batch=1
+        )
+        auto = solve(
+            graph=graph, pattern=3, k=5, solver="ippv", jobs=4, executor="process"
+        )
+        assert auto.verify_batch_used > 0
+        assert signature(auto) == signature(serial)
+
+    def test_fanout_not_planned_without_dominant_component(self):
+        # Component parallelism already covers this graph, so the auto
+        # plan must stay off (and the field must say so).
+        graph = multi_component_graph()
+        report = solve(graph=graph, pattern=3, k=4, solver="ippv", jobs=4)
+        assert report.verify_batch_used == 0
+
+    def test_fanout_ignored_by_solvers_without_support(self):
+        graph = multi_component_graph()
+        report = solve(
+            graph=graph, pattern=3, k=4, solver="exact", jobs=2, verify_batch=8
+        )
+        assert report.verify_batch_used == 0
+
+    def test_verify_executor_override(self):
+        # Components on the serial backend, verification batches on threads.
+        graph = _dominant_component_graph()
+        reference = solve(
+            graph=graph, pattern=3, k=5, solver="ippv", jobs=1, verify_batch=1
+        )
+        report = solve(
+            graph=graph, pattern=3, k=5, solver="ippv",
+            jobs=1, executor="serial",
+            verify_batch=4, verify_executor="thread", verify_jobs=2,
+        )
+        assert report.executor == "serial"
+        assert report.verify_batch_used == 4
+        assert signature(report) == signature(reference)
+
+    def test_invalid_verify_parameters_rejected(self):
+        with pytest.raises(EngineError, match="verify_batch must be"):
+            solve(graph=complete_graph(4), pattern=3, k=1, verify_batch=-1)
+        with pytest.raises(EngineError, match="verify_jobs must be"):
+            solve(graph=complete_graph(4), pattern=3, k=1, verify_jobs=-2)
+        with pytest.raises(EngineError, match="unknown verify executor"):
+            solve(
+                graph=complete_graph(4), pattern=3, k=1, solver="ippv",
+                verify_batch=2, verify_executor="rocket",
+            )
+
+    def test_json_report_carries_verify_batch(self):
+        graph = _dominant_component_graph()
+        report = solve(
+            graph=graph, pattern=3, k=5, solver="ippv",
+            jobs=2, executor="thread", verify_batch=2,
+        )
+        assert report.to_json_dict()["verify_batch"] == 2
+
+
+class TestLeaseRenewal:
+    """Queue lease renewal: a task outliving ``REPRO_QUEUE_LEASE`` keeps its
+    claim alive through the worker heartbeat, so it is never reclaimed —
+    and never executed twice — while its worker is healthy."""
+
+    def test_slow_task_with_short_lease_runs_exactly_once(self, tmp_path, monkeypatch):
+        # The acceptance scenario: REPRO_QUEUE_LEASE=2 and a task sleeping
+        # past the lease completes exactly once with renewal enabled.
+        import threading
+
+        monkeypatch.setenv("REPRO_QUEUE_LEASE", "2")
+        monkeypatch.setenv("REPRO_QUEUE_SPAWN", "0")
+        monkeypatch.delenv("REPRO_QUEUE_HEARTBEAT", raising=False)
+        root = str(tmp_path / "queue")
+        filequeue.ensure_queue(root)
+        marker = str(tmp_path / "executions")
+        # A foreign-host worker: its pid cannot be probed, so only the
+        # lease protects its claim — the exact scenario of the bug.
+        worker = threading.Thread(
+            target=filequeue.worker_loop,
+            args=(root,),
+            kwargs=dict(poll_seconds=0.02, max_tasks=1, hostname="otherbox"),
+            daemon=True,
+        )
+        worker.start()
+        batch = TaskBatch(
+            tasks=[_probe("slow", {"sleep": 3.0, "append_to": marker, "value": "done"})],
+            jobs=1,
+            queue_dir=root,
+        )
+        outcome = get_executor("queue").run(batch)
+        worker.join(timeout=15)
+        assert outcome.results == ["done"]
+        assert outcome.retries == 0  # attempts stayed at 1
+        with open(marker, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_running_claim_reclaimed_without_heartbeat(self, tmp_path):
+        # The pre-renewal behaviour, pinned down: with the heartbeat
+        # disabled, a still-running task's claim expires mid-flight and the
+        # coordinator requeues it — the duplicate-execution bug.
+        import threading
+        import time
+
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        filequeue.write_task(root, _probe("slow", {"sleep": 1.2, "value": 1}))
+        worker = threading.Thread(
+            target=filequeue.worker_loop,
+            args=(root,),
+            kwargs=dict(
+                poll_seconds=0.02, max_tasks=1, hostname="otherbox", heartbeat=0
+            ),
+            daemon=True,
+        )
+        worker.start()
+        time.sleep(0.5)
+        assert filequeue.reclaim_stale(root, lease_seconds=0.3) == ["slow"]
+        worker.join(timeout=10)
+
+    def test_heartbeat_keeps_running_claim_alive(self, tmp_path):
+        import threading
+        import time
+
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        filequeue.write_task(root, _probe("slow", {"sleep": 1.2, "value": 1}))
+        worker = threading.Thread(
+            target=filequeue.worker_loop,
+            args=(root,),
+            kwargs=dict(
+                poll_seconds=0.02, max_tasks=1, hostname="otherbox", heartbeat=0.05
+            ),
+            daemon=True,
+        )
+        worker.start()
+        time.sleep(0.5)
+        # Same lease as above — but the claim's mtime is fresh, so the
+        # coordinator leaves the running task alone.
+        assert filequeue.reclaim_stale(root, lease_seconds=0.3) == []
+        worker.join(timeout=10)
+        assert filequeue.try_load_result(root, "slow") == ("ok", 1)
+
+    def test_freshly_claimed_backlogged_task_gets_a_fresh_lease(self, tmp_path):
+        # rename() preserves mtime, so without the claim-time stamp a task
+        # that waited in tasks/ longer than the lease looked stale the
+        # moment it was claimed — and was reclaimed (and re-run) before
+        # the worker's first heartbeat.
+        root = str(tmp_path)
+        filequeue.ensure_queue(root)
+        filequeue.write_task(root, _probe("t0", {"value": 1}))
+        task_path = os.path.join(root, "tasks", f"t0{filequeue.TASK_SUFFIX}")
+        backlogged = os.path.getmtime(task_path) - 600
+        os.utime(task_path, (backlogged, backlogged))
+        assert filequeue.claim_next(root, pid=99999999, hostname="otherbox") is not None
+        assert filequeue.reclaim_stale(root, lease_seconds=60) == []
+
+    def test_heartbeat_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUE_LEASE", "8")
+        monkeypatch.delenv("REPRO_QUEUE_HEARTBEAT", raising=False)
+        assert filequeue.queue_heartbeat_seconds() == 2.0  # lease / 4
+        monkeypatch.setenv("REPRO_QUEUE_HEARTBEAT", "0")
+        assert filequeue.queue_heartbeat_seconds() == 0.0
+        monkeypatch.setenv("REPRO_QUEUE_HEARTBEAT", "")
+        assert filequeue.queue_heartbeat_seconds() == 2.0
+        # Explicit positives are floored (no spinning on a shared mount);
+        # negatives are rejected instead of silently disabling renewal.
+        monkeypatch.setenv("REPRO_QUEUE_HEARTBEAT", "0.001")
+        assert filequeue.queue_heartbeat_seconds() == filequeue.MIN_HEARTBEAT_SECONDS
+        monkeypatch.setenv("REPRO_QUEUE_HEARTBEAT", "-1")
+        with pytest.raises(EngineError, match="REPRO_QUEUE_HEARTBEAT"):
+            filequeue.queue_heartbeat_seconds()
+        monkeypatch.setenv("REPRO_QUEUE_HEARTBEAT", "fast")
+        with pytest.raises(EngineError, match="REPRO_QUEUE_HEARTBEAT"):
+            filequeue.queue_heartbeat_seconds()
+        monkeypatch.setenv("REPRO_QUEUE_LEASE", "never")
+        with pytest.raises(EngineError, match="REPRO_QUEUE_LEASE"):
+            filequeue.queue_lease_seconds()
+
+
 class TestFailureChannels:
     """Infrastructure failures fall back (surfaced); solver bugs raise."""
 
@@ -458,6 +679,17 @@ class TestReportSurface:
         import json
 
         payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"] == "thread"
+
+    def test_cli_verify_batch_flag(self, capsys):
+        assert cli_main(
+            ["topk", "--dataset", "HA", "--k", "2", "--solver", "ippv",
+             "--executor", "thread", "--jobs", "2", "--verify-batch", "2", "--json"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verify_batch"] == 2
         assert payload["executor"] == "thread"
 
     def test_cli_executors_subcommand(self, capsys):

@@ -8,6 +8,7 @@ from repro.cliques import clique_instances
 from repro.errors import AlgorithmError
 from repro.graph import Graph, complete_graph, union_graph
 from repro.lhcds import IPPV, IPPVConfig, exact_top_k_lhcds, find_lhcds, find_lhxpds
+from repro.lhcds.bounds import CompactBounds
 from repro.lhcds.reference import brute_force_lhcds
 from repro.patterns import DiamondPattern, FourLoopPattern, get_pattern
 
@@ -169,3 +170,126 @@ class TestPatternDiscovery:
             via_pattern = find_lhxpds(g, get_pattern("4-clique"))
             via_clique = find_lhcds(g, h=4)
             assert as_set(via_pattern) == as_set(via_clique)
+
+
+class TestExactEarlyStop:
+    """Regressions for the float-epsilon early stop.
+
+    The old driver compared ``float(kth) >= best_remaining - 1e-12`` over
+    ``float()``-coerced heap priorities, so two densities closer than the
+    tolerance — or closer than one float ulp — were conflated: the run
+    could certify its top-k while a remaining candidate still had a
+    strictly larger upper bound.  Priorities and the stop test are exact
+    now.
+    """
+
+    EPS = Fraction(1, 10**15)
+
+    def test_colliding_float_images_are_distinguished_exactly(self):
+        kth = Fraction(1, 3)
+        remaining = Fraction(1, 3) + self.EPS
+        # The old float comparison certifies the stop...
+        assert float(kth) >= float(remaining) - 1e-12
+        # ...but the certificate does not hold: the remaining candidate's
+        # exact bound is strictly larger, so it may still contain a
+        # strictly denser subgraph.
+        assert not kth >= remaining
+        # The exact comparison also stops on true ties (never "too late").
+        assert Fraction(1, 3) >= Fraction(1, 3)
+
+    @staticmethod
+    def _two_triangles() -> Graph:
+        return Graph(edges=[(0, 1), (1, 2), (0, 2), (10, 11), (11, 12), (10, 12)])
+
+    @staticmethod
+    def _bounds_with(uppers) -> CompactBounds:
+        bounds = CompactBounds()
+        for v, upper in uppers.items():
+            bounds.lower[v] = Fraction(0)
+            bounds.upper[v] = upper
+        return bounds
+
+    def test_push_keeps_priorities_exact(self):
+        graph = self._two_triangles()
+        ippv = IPPV(graph, 3)
+        ippv._bounds = self._bounds_with(
+            {v: Fraction(1, 3) + self.EPS for v in graph.vertices()}
+        )
+        heap = []
+        ippv._push(heap, 0, frozenset({0, 1, 2}), 0)
+        priority = heap[0][0]
+        assert isinstance(priority, Fraction)
+        assert priority == -(Fraction(1, 3) + self.EPS)
+
+    def test_no_stop_while_a_remaining_bound_exceeds_kth(self):
+        # Both triangles have exact density 1/3.  The sound upper bounds
+        # differ by ~1e-15 — far inside the old 1e-12 tolerance — so the
+        # old driver stopped after verifying the first (higher-bound)
+        # triangle and returned it.  The exact driver must keep going,
+        # verify the second triangle too, and let the deterministic sort
+        # pick the winner ({0, 1, 2} by vertex order).
+        graph = self._two_triangles()
+        uppers = {v: Fraction(1, 3) + 2 * self.EPS for v in (10, 11, 12)}
+        uppers.update({v: Fraction(1, 3) + self.EPS for v in (0, 1, 2)})
+        ippv = IPPV(
+            graph, 3, IPPVConfig(prune=False), bounds=self._bounds_with(uppers)
+        )
+        result = ippv.run(1)
+        assert result.candidates_examined == 2
+        assert sorted(result.subgraphs[0].vertices) == [0, 1, 2]
+        assert result.subgraphs[0].density == Fraction(1, 3)
+
+    def test_exact_tie_still_stops_early(self):
+        # When the k-th best *equals* the best remaining bound the
+        # certificate does hold (nothing left can be strictly denser), so
+        # the driver stops without examining the second triangle.
+        graph = self._two_triangles()
+        uppers = {v: Fraction(1, 3) + self.EPS for v in (10, 11, 12)}
+        uppers.update({v: Fraction(1, 3) for v in (0, 1, 2)})
+        ippv = IPPV(
+            graph, 3, IPPVConfig(prune=False), bounds=self._bounds_with(uppers)
+        )
+        result = ippv.run(1)
+        assert result.candidates_examined == 1
+        assert sorted(result.subgraphs[0].vertices) == [10, 11, 12]
+
+
+class TestVerificationFanout:
+    """The driver-level fan-out (no engine): batched verification through an
+    execution backend is bit-identical to the serial pop-verify loop,
+    including the verification statistics."""
+
+    @pytest.mark.parametrize("mode", ["fast", "basic"])
+    def test_fanout_matches_serial(self, figure2, mode):
+        serial = IPPV(figure2, 3, IPPVConfig(verification=mode)).run(2)
+        config = IPPVConfig(
+            verification=mode, verify_executor="thread", verify_batch=4, verify_jobs=2
+        )
+        fanned = IPPV(figure2, 3, config).run(2)
+        assert [(frozenset(s.vertices), s.density) for s in fanned.subgraphs] == [
+            (frozenset(s.vertices), s.density) for s in serial.subgraphs
+        ]
+        assert fanned.verification == serial.verification
+        assert fanned.candidates_examined == serial.candidates_examined
+
+    def test_verification_task_is_picklable_and_self_contained(self, figure2):
+        import pickle
+
+        from repro.cliques import clique_instances
+        from repro.lhcds.bounds import initialize_bounds
+        from repro.lhcds.verify import is_densest, make_verification_task, verify_fast
+
+        instances = clique_instances(figure2, 3)
+        bounds, _ = initialize_bounds(instances, figure2.vertices())
+        candidate = frozenset(range(12, 18))
+        task = pickle.loads(
+            pickle.dumps(
+                make_verification_task(figure2, instances, bounds, candidate)
+            )
+        )
+        # The slice never exceeds the compact closure.
+        assert candidate <= set(task.graph.vertices())
+        verdict = task.run()
+        assert verdict.candidate == candidate
+        assert verdict.densest == is_densest(instances, candidate)
+        assert verdict.verified == verify_fast(figure2, instances, candidate, bounds)
