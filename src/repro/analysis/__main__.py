@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — the repro-lint command line."""
+
+from __future__ import annotations
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(prog="python -m repro.analysis"))

@@ -1,0 +1,110 @@
+"""Baseline file: grandfathered findings that do not fail the gate.
+
+The baseline is a committed JSON file mapping finding *fingerprints* to
+their recorded context.  A fingerprint hashes the rule id, the module path,
+the stripped source line, and an occurrence index — never the line number —
+so unrelated edits that renumber a file keep its grandfathered findings
+suppressed, while any change to the offending line itself (including fixing
+it) invalidates the entry.
+
+``repro-lint --write-baseline`` regenerates the file from the currently
+active findings; stale entries are dropped on rewrite, so the baseline only
+ever shrinks unless someone deliberately grandfathers new debt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from .base import AnalysisError, Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def fingerprint(finding: Finding, occurrence: int) -> str:
+    """Stable identity of a finding independent of its line number."""
+    payload = "|".join(
+        (finding.rule, finding.path, finding.snippet, str(occurrence))
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def assign_fingerprints(findings: Iterable[Finding]) -> List[tuple]:
+    """Pair each finding with its fingerprint.
+
+    Occurrence indices disambiguate identical lines (same rule, path, and
+    text): they count upward in line order, so inserting a new copy of an
+    already-baselined offending line yields a *new* fingerprint.
+    """
+    counters: Dict[tuple, int] = {}
+    pairs = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = (finding.rule, finding.path, finding.snippet)
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        pairs.append((finding, fingerprint(finding, occurrence)))
+    return pairs
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered fingerprints, with load/save round-trip."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    def __contains__(self, print_: str) -> bool:
+        return print_ in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except FileNotFoundError:
+            return cls()
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"unreadable baseline {path!r}: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise AnalysisError(
+                f"baseline {path!r} has an unsupported format "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        entries = {
+            item["fingerprint"]: item for item in raw.get("findings", [])
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Build a baseline grandfathering the given (active) findings."""
+        entries: Dict[str, dict] = {}
+        for finding, print_ in assign_fingerprints(findings):
+            entries[print_] = {
+                "fingerprint": print_,
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "message": finding.message,
+            }
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        """Write the baseline, sorted for stable diffs."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": sorted(
+                self.entries.values(),
+                key=lambda item: (item["path"], item["rule"], item["fingerprint"]),
+            ),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,37 @@
+"""Built-in repro-lint rules; importing this package registers them.
+
+=====  =======================================================================
+Rule   Invariant policed
+=====  =======================================================================
+EX01   Exactness: no ``float`` coercions, float literals, or epsilon
+       comparisons inside certified modules unless routed through
+       ``stable_groups.FLOAT_SLACK``.
+DT01   Determinism: no unordered set iteration feeding ordered results, no
+       ``hash()``/``id()`` sort keys, no module-level ``random`` in solver
+       paths.
+PK01   Pickle-safety: task/result envelope classes are module-level with no
+       lambda, closure, generator, or open-handle state.
+RG01   Registry hygiene: registered solvers/executors/patterns/checkers
+       declare their capabilities and carry docstrings.
+=====  =======================================================================
+"""
+
+from __future__ import annotations
+
+from ..base import register_checker
+from .determinism import DeterminismChecker
+from .exactness import ExactnessChecker
+from .pickle_safety import PickleSafetyChecker
+from .registry_hygiene import RegistryHygieneChecker
+
+register_checker(ExactnessChecker)
+register_checker(DeterminismChecker)
+register_checker(PickleSafetyChecker)
+register_checker(RegistryHygieneChecker)
+
+__all__ = [
+    "DeterminismChecker",
+    "ExactnessChecker",
+    "PickleSafetyChecker",
+    "RegistryHygieneChecker",
+]

@@ -1,0 +1,117 @@
+"""Suppression pragmas: ``# repro: allow-<RULE>(<reason>)``.
+
+A pragma silences matching findings *on its own physical line*; the
+file-level form ``# repro: allow-file-<RULE>(<reason>)`` silences the rule
+for the whole module (used for declared boundaries such as the Frank–Wolfe
+float kernel, where every line of the module lives on the inexact side).
+
+Reasons are mandatory: a pragma with no reason — or one that does not parse
+at all after the ``repro:`` marker — is itself reported as a ``PRAGMA``
+finding, so an unexplained suppression can never reach CI silently.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .base import Finding
+
+#: Rule id shape shared with the registry (two letters + two digits).
+_RULE_ID = r"[A-Z]{2}\d{2}"
+
+_MARKER = re.compile(r"#\s*repro:\s*(?P<body>.*)$")
+_ALLOW = re.compile(
+    rf"allow-(?P<file>file-)?(?P<rule>{_RULE_ID})\((?P<reason>[^()]*)\)"
+)
+#: Anything that looks like an allow token, for malformed-pragma detection.
+_ALLOW_LIKE = re.compile(rf"allow-(?:file-)?{_RULE_ID}")
+
+
+@dataclass
+class PragmaSet:
+    """All suppressions declared by one module's comments."""
+
+    #: line -> rule -> reason
+    by_line: Dict[int, Dict[str, str]] = field(default_factory=dict)
+    #: rule -> reason, for the whole file
+    by_file: Dict[str, str] = field(default_factory=dict)
+    #: Malformed or reason-less pragmas (reported as PRAGMA findings).
+    errors: List[Finding] = field(default_factory=list)
+
+    def reason_for(self, rule: str, line: int) -> str | None:
+        """Reason of the pragma covering ``rule`` at ``line`` (None = none)."""
+        line_rules = self.by_line.get(line, {})
+        if rule in line_rules:
+            return line_rules[rule]
+        if rule in self.by_file:
+            return self.by_file[rule]
+        return None
+
+
+def collect_pragmas(source: str, path: str) -> PragmaSet:
+    """Extract every pragma from the module's comments.
+
+    Comments are found with :mod:`tokenize` (never by scanning for ``#``
+    inside string literals); a module that fails to tokenize contributes no
+    pragmas — the runner reports the parse failure separately.
+    """
+    pragmas = PragmaSet()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        marker = _MARKER.search(token.string)
+        if marker is None:
+            continue
+        line = token.start[0]
+        body = marker.group("body")
+        matched_spans = []
+        for allow in _ALLOW.finditer(body):
+            matched_spans.append(allow.span())
+            rule = allow.group("rule")
+            reason = allow.group("reason").strip()
+            if not reason:
+                pragmas.errors.append(
+                    Finding(
+                        rule="PRAGMA",
+                        path=path,
+                        line=line,
+                        col=token.start[1] + 1,
+                        message=(
+                            f"pragma allow-{rule} has no reason; write "
+                            f"# repro: allow-{rule}(<why this is sound>)"
+                        ),
+                        snippet=token.string.strip(),
+                    )
+                )
+                continue
+            if allow.group("file"):
+                pragmas.by_file.setdefault(rule, reason)
+            else:
+                pragmas.by_line.setdefault(line, {}).setdefault(rule, reason)
+        # Anything allow-like the strict pattern did not consume is a typo
+        # (missing parentheses, bad rule id casing) — surface it rather than
+        # letting the author believe the finding is suppressed.
+        leftover = _ALLOW_LIKE.findall(_ALLOW.sub("", body))
+        for text in leftover:
+            pragmas.errors.append(
+                Finding(
+                    rule="PRAGMA",
+                    path=path,
+                    line=line,
+                    col=token.start[1] + 1,
+                    message=(
+                        f"malformed pragma {text!r}; the form is "
+                        "# repro: allow-<RULE>(<reason>)"
+                    ),
+                    snippet=token.string.strip(),
+                )
+            )
+    return pragmas

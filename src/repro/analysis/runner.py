@@ -1,0 +1,302 @@
+"""The repro-lint runner: collect files, run checkers, apply suppressions.
+
+The runner is what both CLIs (``python -m repro.analysis`` and
+``repro-lhcds lint``) call.  Pipeline per module:
+
+1. parse the source (``ast.parse``; failures become ``PARSE`` findings),
+2. run every selected checker whose scope covers the module,
+3. silence findings covered by a same-line or file-level pragma,
+4. silence findings whose fingerprint is grandfathered in the baseline,
+5. append pragma-hygiene findings (malformed / reason-less pragmas).
+
+The exit code is 0 iff no *unsuppressed* finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .base import (
+    AnalysisError,
+    CheckContext,
+    Finding,
+    available_checkers,
+    get_checker,
+)
+from .baseline import DEFAULT_BASELINE_NAME, Baseline, assign_fingerprints
+from .pragmas import collect_pragmas
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that fail the gate (not pragma'd, not baselined)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        """Findings silenced by a pragma or the baseline."""
+        return [f for f in self.findings if f.suppressed]
+
+    def exit_code(self) -> int:
+        """0 when the gate passes, 1 when any active finding remains."""
+        return 1 if self.active else 0
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render_human(self, verbose: bool = False) -> str:
+        """Plain-text report: one line per finding plus a summary."""
+        out: List[str] = []
+        for finding in self.active:
+            out.append(f"{finding.location()}: {finding.rule} {finding.message}")
+            if finding.snippet:
+                out.append(f"    {finding.snippet}")
+        if verbose:
+            for finding in self.suppressed:
+                how = finding.suppression
+                why = f" ({finding.reason})" if finding.reason else ""
+                out.append(
+                    f"{finding.location()}: {finding.rule} suppressed by {how}{why}"
+                )
+        pragma_count = sum(1 for f in self.suppressed if f.suppression == "pragma")
+        baseline_count = sum(1 for f in self.suppressed if f.suppression == "baseline")
+        out.append(
+            f"repro-lint: {len(self.active)} finding(s), "
+            f"{pragma_count} pragma-suppressed, "
+            f"{baseline_count} baselined, "
+            f"{self.files_checked} file(s) checked"
+        )
+        return "\n".join(out)
+
+    def to_json_dict(self) -> dict:
+        """Machine-readable report (the schema the fixture tests pin)."""
+        return {
+            "version": 1,
+            "summary": {
+                "files_checked": self.files_checked,
+                "total": len(self.findings),
+                "active": len(self.active),
+                "suppressed_pragma": sum(
+                    1 for f in self.suppressed if f.suppression == "pragma"
+                ),
+                "suppressed_baseline": sum(
+                    1 for f in self.suppressed if f.suppression == "baseline"
+                ),
+            },
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "snippet": f.snippet,
+                    "suppressed": f.suppressed,
+                    "suppression": f.suppression,
+                    "reason": f.reason,
+                }
+                for f in sorted(
+                    self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+                )
+            ],
+        }
+
+
+def _normalise(path: str) -> str:
+    """Forward-slash path, relative to the working directory when inside it."""
+    rel = os.path.relpath(path)
+    chosen = path if rel.startswith("..") else rel
+    return chosen.replace(os.sep, "/")
+
+
+def _collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand directories into sorted ``.py`` file lists."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in {"__pycache__", ".git"}
+                )
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path!r}")
+    return files
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module; pragma suppression applied, no baseline."""
+    posix = path.replace("\\", "/")
+    selected = list(rules) if rules is not None else available_checkers()
+    findings: List[Finding] = []
+    pragmas = collect_pragmas(source, posix)
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        findings.append(
+            Finding(
+                rule="PARSE",
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                message=f"module does not parse: {exc.msg}",
+            )
+        )
+        return findings
+    context = CheckContext(path=posix, lines=source.splitlines())
+    for rule in selected:
+        checker_class = get_checker(rule)
+        if not checker_class.applies_to(posix):
+            continue
+        findings.extend(checker_class().run(tree, context))
+    resolved: List[Finding] = []
+    for finding in findings:
+        reason = pragmas.reason_for(finding.rule, finding.line)
+        if reason is not None:
+            finding = finding.suppress("pragma", reason)
+        resolved.append(finding)
+    resolved.extend(pragmas.errors)
+    return resolved
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint files/directories and apply the baseline to what pragmas left."""
+    report = LintReport()
+    collected: List[Finding] = []
+    for filename in _collect_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {filename!r}: {exc}") from exc
+        collected.extend(lint_source(source, _normalise(filename), rules))
+        report.files_checked += 1
+    if baseline:
+        active = [f for f in collected if not f.suppressed]
+        grandfathered = {
+            id(finding)
+            for finding, print_ in assign_fingerprints(active)
+            if print_ in baseline
+        }
+        collected = [
+            f.suppress("baseline") if id(f) in grandfathered else f
+            for f in collected
+        ]
+    report.findings = sorted(
+        collected, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# command line
+# ----------------------------------------------------------------------
+def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
+    """Argument parser shared by ``__main__`` and ``repro-lhcds lint``."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="static invariant analysis (exactness / determinism / "
+        "pickle-safety / registry hygiene)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"baseline file (default {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every currently active finding and exit 0",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed findings in text output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, prog: str = "repro-lint") -> int:
+    """CLI entry point (returns a process exit code)."""
+    args = build_parser(prog).parse_args(argv)
+    try:
+        if args.list_rules:
+            for rule in available_checkers():
+                checker = get_checker(rule)
+                print(f"{rule}  {checker.title}")
+            return 0
+        rules = None
+        if args.select:
+            rules = [get_checker(r).rule for r in args.select.split(",") if r.strip()]
+        baseline = None
+        if not args.no_baseline and not args.write_baseline:
+            baseline = Baseline.load(args.baseline)
+        report = lint_paths(args.paths, rules=rules, baseline=baseline)
+        if args.write_baseline:
+            Baseline.from_findings(report.active).save(args.baseline)
+            print(
+                f"repro-lint: wrote {len(report.active)} finding(s) to "
+                f"{args.baseline}"
+            )
+            return 0
+        if args.json:
+            print(json.dumps(report.to_json_dict(), indent=2))
+        else:
+            print(report.render_human(verbose=args.verbose))
+        return report.exit_code()
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -156,6 +156,15 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "name", choices=sorted(ALL_EXPERIMENTS), help="experiment identifier"
     )
+
+    # Execution is short-circuited in main() — everything after `lint` is
+    # forwarded verbatim to repro.analysis (argparse REMAINDER cannot
+    # forward leading options).  This stub only provides the help entry.
+    sub.add_parser(
+        "lint",
+        help="run the repro-lint invariant analyzer (see `lint --help`)",
+        add_help=False,
+    )
     return parser
 
 
@@ -291,8 +300,13 @@ def _cmd_workers(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (returns a process exit code)."""
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments[:1] == ["lint"]:
+        from .analysis import main as lint_main
+
+        return lint_main(arguments[1:], prog="repro-lhcds lint")
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     try:
         if args.command == "topk":
             return _cmd_topk(args)

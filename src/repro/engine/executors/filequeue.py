@@ -79,10 +79,10 @@ _SUBDIRS = ("tasks", "claimed", "results")
 _HOSTNAME = re.sub(r"[^A-Za-z0-9_-]", "-", socket.gethostname()) or "localhost"
 
 #: Seconds after which a foreign host's claim counts as abandoned.
-DEFAULT_LEASE_SECONDS = 120.0
+DEFAULT_LEASE_SECONDS: float = 120.0
 
 #: Floor for the heartbeat interval so very short leases do not spin.
-MIN_HEARTBEAT_SECONDS = 0.05
+MIN_HEARTBEAT_SECONDS: float = 0.05
 
 
 def _env_seconds(name: str, default: float) -> float:
@@ -91,7 +91,7 @@ def _env_seconds(name: str, default: float) -> float:
     if not raw:
         return default
     try:
-        return float(raw)
+        return float(raw)  # repro: allow-EX01(wall-clock seconds knob from the environment; never touches a certificate)
     except ValueError:
         raise EngineError(
             f"{name} must be a number of seconds, got {raw!r}"
@@ -113,7 +113,7 @@ def queue_heartbeat_seconds() -> float:
     mount; negative values are rejected rather than silently disabling
     renewal (that is what ``0`` is for).
     """
-    default = max(queue_lease_seconds() / 4.0, MIN_HEARTBEAT_SECONDS)
+    default = max(queue_lease_seconds() / 4, MIN_HEARTBEAT_SECONDS)
     value = _env_seconds("REPRO_QUEUE_HEARTBEAT", default)
     if value < 0:
         raise EngineError(
@@ -410,7 +410,7 @@ class QueueExecutor(Executor):
     max_attempts = 3
     #: Hard deadline for one batch; a wedged queue falls back to serial
     #: rather than hanging the caller (override via REPRO_QUEUE_TIMEOUT).
-    default_timeout_seconds = 300.0
+    default_timeout_seconds: float = 300.0
 
     def run(self, batch: TaskBatch) -> ExecutionOutcome:
         if not batch.tasks:
@@ -421,8 +421,10 @@ class QueueExecutor(Executor):
             root = tempfile.mkdtemp(prefix="repro-queue-")
         ensure_queue(root)
         raw_timeout = os.environ.get("REPRO_QUEUE_TIMEOUT", "").strip()
+        timeout = self.default_timeout_seconds
         try:
-            timeout = float(raw_timeout) if raw_timeout else self.default_timeout_seconds
+            if raw_timeout:
+                timeout = float(raw_timeout)  # repro: allow-EX01(wall-clock batch deadline from the environment)
         except ValueError:
             raise EngineError(
                 f"REPRO_QUEUE_TIMEOUT must be a number of seconds, got {raw_timeout!r}"
@@ -495,7 +497,7 @@ class QueueExecutor(Executor):
         # the coordinator's own workers would usually win the claims.
         spawn_allowed = os.environ.get("REPRO_QUEUE_SPAWN", "1").strip() != "0"
         while pending:
-            for task_id in list(pending):
+            for task_id in sorted(pending):
                 envelope = try_load_result(root, task_id)
                 if envelope is not None:
                     envelopes[task_id] = envelope
@@ -530,7 +532,7 @@ class QueueExecutor(Executor):
                     )
                 workers.append(spawn_worker(root))
                 spawned += 1
-            time.sleep(0.02)
+            time.sleep(0.02)  # repro: allow-EX01(poll backoff interval; wall-clock scheduling only)
         return envelopes, retries
 
     @staticmethod

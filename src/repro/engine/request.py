@@ -251,7 +251,7 @@ class SolveReport(LhCDSResult):
                 {
                     "rank": rank,
                     "density": str(s.density),
-                    "density_float": float(s.density),
+                    "density_float": float(s.density),  # repro: allow-EX01(JSON convenience mirror; the exact value is the density string above)
                     "size": s.size,
                     "vertices": list(s.as_sorted_list()),
                 }

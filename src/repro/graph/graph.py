@@ -173,12 +173,19 @@ class Graph:
 
         Vertices not present in the graph are silently ignored so callers can
         pass candidate sets computed on a larger parent graph.
+
+        The subgraph's vertex order is canonical: it follows the *parent*
+        graph's insertion order, never the iteration order of ``vertices``.
+        Component enumeration (and hence discovery indices used for
+        sharding) follows vertex order, so callers may pass unordered sets
+        without leaking per-process hash order into results.
         """
         keep = {v for v in vertices if v in self._adj}
         sub = Graph()
-        for v in keep:
-            sub.add_vertex(v)
-        for v in keep:
+        for v in self._adj:
+            if v in keep:
+                sub.add_vertex(v)
+        for v in sub._adj:
             for u in self._adj[v]:
                 if u in keep:
                     sub.add_edge(u, v)

@@ -35,9 +35,17 @@ class CompactBounds:
         """Lower bound of ``v`` (0 when unknown)."""
         return self.lower.get(v, 0)
 
-    def upper_of(self, v: Vertex) -> Number:
-        """Upper bound of ``v`` (+inf when unknown)."""
-        return self.upper.get(v, float("inf"))
+    def upper_of(self, v: Vertex) -> Optional[Number]:
+        """Upper bound of ``v``, or ``None`` when unbounded.
+
+        ``None`` is the exact top of the bound lattice: an unknown vertex
+        has no finite upper bound.  Returning a ``float("inf")`` sentinel
+        here would leak a float into otherwise-Fraction arithmetic on the
+        certificate path, so callers must treat ``None`` as "compares
+        greater than every finite bound" (i.e. never prunable, always
+        inside an upward closure).
+        """
+        return self.upper.get(v)
 
     def tighten_lower(self, v: Vertex, value: Number) -> None:
         """Raise the lower bound of ``v`` to ``value`` if it improves it."""

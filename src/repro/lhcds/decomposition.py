@@ -10,6 +10,8 @@ smallest ``r`` values) — lines 18-22 — and ``r`` is recomputed.  This keeps
 conditions checkable per subset.
 """
 
+# repro: allow-file-EX01(consumes the float Frank-Wolfe iterate; its outputs only become certified after FLOAT_SLACK padding in stable_groups)
+
 from __future__ import annotations
 
 from dataclasses import dataclass

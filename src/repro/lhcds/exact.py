@@ -88,7 +88,11 @@ def lhcds_at_level(
     shared definition both the direct path below and the engine's sharded
     path (:mod:`repro.engine.sharding`) rely on for bit-identical output.
     """
-    level = {v for v, value in phi.items() if value == rho}
+    # A list, not a set: induced_subgraph canonicalises vertex order to the
+    # parent graph's insertion order either way, but the level set never
+    # needs to be unordered, and keeping dict order here makes the
+    # enumeration order visibly independent of per-process hashing.
+    level = [v for v, value in phi.items() if value == rho]
     for seq, component in enumerate(connected_components(graph.induced_subgraph(level))):
         touches_denser = any(
             phi.get(u, Fraction(0)) > rho

@@ -511,7 +511,13 @@ class IPPV:
                     )
                     subsets = {frozenset(g.vertices) for g in subgroups}
                     if subsets and subsets != {candidate}:
-                        for subset in subsets:
+                        # Push in a canonical order: the insertion counter
+                        # breaks heap ties, so set iteration order here
+                        # would otherwise leak per-process hash order into
+                        # the exploration sequence.
+                        for subset in sorted(
+                            subsets, key=lambda s: sorted(repr(v) for v in s)
+                        ):
                             counter = self._push(heap, counter, subset, depth + 1)
                         continue
                 # Exact fallback: split along the maximal densest subgraph.
@@ -566,7 +572,12 @@ class IPPV:
         if not candidate:
             return counter
         assert self._bounds is not None
-        priority = max(self._bounds.upper_of(v) for v in candidate)
+        uppers = [self._bounds.upper_of(v) for v in candidate]
+        # initialize_bounds populates every candidate vertex, so an
+        # unbounded (None) upper cannot occur here; an unbounded vertex
+        # would have no finite priority to heap on.
+        assert all(upper is not None for upper in uppers)
+        priority = max(uppers)
         heapq.heappush(heap, (-priority, counter, candidate, depth))
         return counter + 1
 

@@ -42,7 +42,11 @@ def prune_invalid_vertices(
             continue
         lower_u = bounds.lower_of(u) - FLOAT_SLACK
         for v in graph.neighbors(u):
-            if v in universe and bounds.upper_of(v) < lower_u:
+            if v not in universe:
+                continue
+            upper_v = bounds.upper_of(v)
+            # None means unbounded, which can never fall below lower_u.
+            if upper_v is not None and upper_v < lower_u:
                 invalid.add(v)
 
     survivors = universe - invalid

@@ -72,9 +72,8 @@ def brute_force_compact_numbers(
     vertices = graph.vertices()
     phi: Dict[Vertex, Fraction] = {v: Fraction(0) for v in vertices}
     for subset in _nonempty_subsets(vertices):
-        sset = set(subset)
-        value = compactness_of(graph, instances, sset)
-        for v in sset:
+        value = compactness_of(graph, instances, set(subset))
+        for v in subset:
             if value > phi[v]:
                 phi[v] = value
     return phi

@@ -8,6 +8,8 @@ of iterations yields a feasible approximation that the stable-group stage
 turns into valid lower/upper bounds (Theorem 4).
 """
 
+# repro: allow-file-EX01(Frank-Wolfe iterate: approximate float weights by design; stable_groups pads them with FLOAT_SLACK before any certified comparison)
+
 from __future__ import annotations
 
 from dataclasses import dataclass

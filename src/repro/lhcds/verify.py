@@ -162,7 +162,9 @@ def compact_closure(
         for u in graph.neighbors(v):
             if u in closure:
                 continue
-            if bounds.upper_of(u) >= rho:
+            upper_u = bounds.upper_of(u)
+            # None means unbounded: trivially >= rho, so inside the closure.
+            if upper_u is None or upper_u >= rho:
                 closure.add(u)
                 frontier.append(u)
     return closure
@@ -197,7 +199,7 @@ def verify_fast(
     # padded with FLOAT_SLACK where it enters, in DeriveSG), so any extra
     # slack here would only miss valid rejections.
     del output_vertices
-    for v in subset:
+    for v in subset:  # repro: allow-DT01(boolean any-neighbour scan; the result does not depend on visit order)
         for u in graph.neighbors(v):
             if u in subset:
                 continue

@@ -131,6 +131,21 @@ class TestInducedSubgraph:
         sub.add_edge(0, 7)
         assert 7 not in g
 
+    def test_induced_subgraph_order_is_canonical(self):
+        """The subgraph's vertex order follows the *parent* insertion order,
+        whatever order (or container) the argument iterates in — component
+        enumeration and sharding discovery indices depend on it."""
+        g = Graph(edges=[("a", "b"), ("c", "d"), ("e", "f")])
+        reference = g.induced_subgraph(["a", "b", "c", "d", "e"]).vertices()
+        assert reference == ["a", "b", "c", "d", "e"]
+        for argument in (
+            ["e", "c", "a", "d", "b"],
+            reversed(["a", "b", "c", "d", "e"]),
+            {"a", "b", "c", "d", "e"},
+            frozenset("abcde"),
+        ):
+            assert g.induced_subgraph(argument).vertices() == reference
+
     def test_relabelled_roundtrip(self):
         g = Graph(edges=[("a", "b"), ("b", "c")])
         relabelled, mapping, inverse = g.relabelled()

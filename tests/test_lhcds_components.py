@@ -29,7 +29,14 @@ class TestCompactBounds:
     def test_defaults(self):
         bounds = CompactBounds()
         assert bounds.lower_of("x") == 0
-        assert bounds.upper_of("x") == float("inf")
+        # None is the exact "unbounded" sentinel: no float("inf") may leak
+        # into otherwise-Fraction arithmetic on the certificate path.
+        assert bounds.upper_of("x") is None
+
+    def test_tighten_from_unbounded(self):
+        bounds = CompactBounds()
+        bounds.tighten_upper("v", 5)
+        assert bounds.upper_of("v") == 5
 
     def test_tighten_lower_only_improves(self):
         bounds = CompactBounds()
