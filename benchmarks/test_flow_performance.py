@@ -1,0 +1,196 @@
+"""Flow-kernel benchmark: flat-buffer Dinic vs the pre-kernel object graph.
+
+``solve_compact_network`` is the hot path of every IPPV verification, so this
+benchmark times it on the two network shapes verification produces —
+``DeriveCompact`` (rho below the working graph's density, non-trivial cut)
+and ``IsDensest`` (rho just above a candidate's density) — against a faithful
+reconstruction of the pre-kernel path: labelled tuple nodes, per-arc
+``Fraction`` capacities scaled through the collector's lcm, and the
+object-graph Dinic preserved in :mod:`repro.flow.legacy`.
+
+The headline metric ``flow.dinic_maxflow_s`` must beat the legacy path by at
+least 3x; the Frank--Wolfe kernel rides along as ``fw.seq_kclist_s``.  When
+numpy is installed the same workloads are recorded under the numpy kernel
+(``*_numpy_s``) after asserting bit-identical results.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import time
+from fractions import Fraction
+from math import lcm
+
+import pytest
+
+from repro.cliques.kclist import clique_instances
+from repro.datasets.synthetic import planted_communities_graph
+from repro.flow import scaled_capacity, solve_compact_network
+from repro.flow.legacy import LegacyMaxFlowNetwork
+from repro.flow.network import SINK, SOURCE, instance_node, vertex_node
+from repro.graph.components import connected_components
+from repro.lhcds.seq_kclist import seq_kclist_plus_plus
+
+NUMPY = importlib.util.find_spec("numpy") is not None
+
+H = 3
+FW_ITERATIONS = 20
+
+
+def _legacy_solve_compact(instances, rho, vertices):
+    """The seed's ``solve_compact_network``: labelled nodes, Fraction arcs,
+    one lcm over every arc denominator, object-graph Dinic, maximal cut."""
+    h = instances.h
+    universe = set(vertices)
+    raw = instances.degrees()
+    degrees = {v: Fraction(raw.get(v, 0)) for v in universe}
+    arcs = []
+    for idx, inst in enumerate(instances.instances):
+        node = instance_node(idx)
+        for v in inst:
+            arcs.append((vertex_node(v), node, Fraction(1)))
+            arcs.append((node, vertex_node(v), Fraction(h - 1)))
+    for v in universe:
+        arcs.append((SOURCE, vertex_node(v), degrees.get(v, Fraction(0))))
+        arcs.append((vertex_node(v), SINK, rho * h))
+    scale = lcm(*[cap.denominator for _, _, cap in arcs])
+    network = LegacyMaxFlowNetwork()
+    network.add_node(SOURCE)
+    network.add_node(SINK)
+    for src, dst, cap in arcs:
+        network.add_edge(src, dst, scaled_capacity(cap, scale))
+    network.solve(SOURCE, SINK)
+    cut = network.min_cut_source_side(SOURCE, maximal=True)
+    return {node[1] for node in cut if isinstance(node, tuple) and node[0] == "v"}
+
+
+def _verification_workload():
+    """(instances, rho, vertices) triples shaped like IPPV verification."""
+    workload = []
+
+    # DeriveCompact: rho below the graph's density, non-trivial maximal cut.
+    graph, _ = planted_communities_graph(
+        [14, 12, 10], p_in=0.9, p_out=0.05, seed=7, background=20
+    )
+    instances = clique_instances(graph, H)
+    rho = Fraction(instances.num_instances, graph.num_vertices) + Fraction(1, 3)
+    workload.append((instances, rho, set(graph.vertices())))
+
+    # IsDensest: per-component networks with rho just above the density.
+    graph, _ = planted_communities_graph(
+        [12, 10, 9], p_in=0.95, p_out=0.04, seed=21, background=12
+    )
+    instances = clique_instances(graph, H)
+    for component in sorted(connected_components(graph), key=len, reverse=True)[:6]:
+        local = instances.restrict(component)
+        if local.num_instances == 0:
+            continue
+        n = len(component)
+        density = Fraction(local.num_instances, n)
+        workload.append((local, density + Fraction(1, n * (n + 1)), component))
+    return workload
+
+
+def _best_of(fn, rounds: int = 7):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_flat_dinic_at_least_3x_faster_than_legacy(bench_metrics):
+    workload = _verification_workload()
+
+    new_s, new_result = _best_of(
+        lambda: [
+            solve_compact_network(inst, rho, vertices=universe, kernel="stdlib")
+            for inst, rho, universe in workload
+        ]
+    )
+    legacy_s, legacy_result = _best_of(
+        lambda: [
+            _legacy_solve_compact(inst, rho, universe)
+            for inst, rho, universe in workload
+        ]
+    )
+
+    # Same cuts before comparing speeds: the min-cut sides are unique, so
+    # both paths must select exactly the same vertex sets.
+    assert new_result == legacy_result
+
+    bench_metrics["flow.dinic_maxflow_s"] = new_s
+    bench_metrics["flow.dinic_maxflow_legacy_s"] = legacy_s
+    print()
+    print(
+        f"derive-compact/is-densest workload ({len(workload)} networks): "
+        f"flat {new_s * 1000:.2f}ms  legacy {legacy_s * 1000:.2f}ms  "
+        f"speedup {legacy_s / new_s:.2f}x"
+    )
+
+    assert legacy_s >= 3.0 * new_s, (
+        f"flat-buffer Dinic must be >= 3x faster than the object-graph path: "
+        f"{new_s * 1000:.2f}ms vs {legacy_s * 1000:.2f}ms "
+        f"({legacy_s / new_s:.2f}x)"
+    )
+
+
+def test_frank_wolfe_kernel_timed(bench_metrics):
+    graph, _ = planted_communities_graph(
+        [14, 12, 10], p_in=0.9, p_out=0.05, seed=7, background=20
+    )
+    instances = clique_instances(graph, H)
+
+    fw_s, state = _best_of(
+        lambda: seq_kclist_plus_plus(instances, FW_ITERATIONS, kernel="stdlib"),
+        rounds=3,
+    )
+    assert state.check_feasible()
+
+    bench_metrics["fw.seq_kclist_s"] = fw_s
+    print()
+    print(
+        f"SEQ-kClist++ T={FW_ITERATIONS} on |Psi{H}|={instances.num_instances}: "
+        f"{fw_s * 1000:.2f}ms"
+    )
+
+
+@pytest.mark.skipif(not NUMPY, reason="numpy kernel not installed")
+def test_numpy_kernel_timed_and_identical(bench_metrics):
+    workload = _verification_workload()
+
+    stdlib_s, stdlib_result = _best_of(
+        lambda: [
+            solve_compact_network(inst, rho, vertices=universe, kernel="stdlib")
+            for inst, rho, universe in workload
+        ]
+    )
+    numpy_s, numpy_result = _best_of(
+        lambda: [
+            solve_compact_network(inst, rho, vertices=universe, kernel="numpy")
+            for inst, rho, universe in workload
+        ]
+    )
+    assert numpy_result == stdlib_result
+    bench_metrics["flow.dinic_maxflow_numpy_s"] = numpy_s
+
+    graph, _ = planted_communities_graph(
+        [14, 12, 10], p_in=0.9, p_out=0.05, seed=7, background=20
+    )
+    instances = clique_instances(graph, H)
+    fw_numpy_s, numpy_state = _best_of(
+        lambda: seq_kclist_plus_plus(instances, FW_ITERATIONS, kernel="numpy"),
+        rounds=3,
+    )
+    stdlib_state = seq_kclist_plus_plus(instances, FW_ITERATIONS, kernel="stdlib")
+    assert bytes(numpy_state.alpha) == bytes(stdlib_state.alpha)
+    assert numpy_state.r == stdlib_state.r
+    bench_metrics["fw.seq_kclist_numpy_s"] = fw_numpy_s
+
+    print()
+    print(
+        f"numpy kernel: flow {numpy_s * 1000:.2f}ms (stdlib {stdlib_s * 1000:.2f}ms)  "
+        f"fw {fw_numpy_s * 1000:.2f}ms"
+    )

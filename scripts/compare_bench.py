@@ -10,7 +10,9 @@ annotations when running in CI) for every timing that regressed by more
 than the threshold (default: 1.25x, i.e. >25% slower).  Exits 0 by
 default — absolute timings on shared runners are noisy, so regressions
 warn rather than fail; pass ``--fail-on-regression`` to turn warnings
-into a non-zero exit for local gating.
+into a non-zero exit for local gating, or ``--fail-on <pct>`` to fail
+only on blow-ups beyond ``pct`` percent (e.g. ``--fail-on 200`` fails at
+3x the baseline) while ordinary noise keeps warning.
 """
 
 from __future__ import annotations
@@ -44,6 +46,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="exit 1 when any metric regresses (default: warn only)",
     )
+    parser.add_argument(
+        "--fail-on",
+        type=float,
+        metavar="PCT",
+        default=None,
+        help="exit 1 when any metric is more than PCT percent slower than "
+        "the baseline (e.g. 200 fails at 3x); smaller regressions still "
+        "warn via --threshold",
+    )
     args = parser.parse_args(argv)
 
     current = _load_metrics(args.current)
@@ -51,6 +62,7 @@ def main(argv=None) -> int:
     in_ci = bool(os.environ.get("GITHUB_ACTIONS"))
 
     regressions = []
+    ratios = []
     for name in sorted(set(current) | set(baseline)):
         if name not in baseline:
             print(f"  new      {name:40} {current[name]:.4f}s (no baseline)")
@@ -59,6 +71,7 @@ def main(argv=None) -> int:
             print(f"  missing  {name:40} baseline {baseline[name]:.4f}s, not measured")
             continue
         ratio = current[name] / baseline[name] if baseline[name] > 0 else float("inf")
+        ratios.append((name, ratio))
         marker = "ok" if ratio <= args.threshold else "REGRESSED"
         print(
             f"  {marker:8} {name:40} {current[name]:.4f}s "
@@ -82,6 +95,17 @@ def main(argv=None) -> int:
             return 1
     else:
         print("\nno regressions beyond the threshold")
+
+    if args.fail_on is not None:
+        limit = 1.0 + args.fail_on / 100.0
+        blowups = [(name, ratio) for name, ratio in ratios if ratio > limit]
+        if blowups:
+            for name, ratio in blowups:
+                print(
+                    f"FAIL: {name} is {ratio:.2f}x the baseline "
+                    f"(--fail-on {args.fail_on:g}% = {limit:.2f}x limit)"
+                )
+            return 1
     return 0
 
 

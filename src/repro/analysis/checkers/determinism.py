@@ -68,6 +68,7 @@ class DeterminismChecker(Checker):
         "repro/graph/",
         "repro/patterns/",
         "repro/instances.py",
+        "repro/kernels/",
     )
 
     def run(self, tree: ast.AST, context: CheckContext) -> list:

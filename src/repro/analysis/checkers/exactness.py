@@ -50,6 +50,7 @@ class ExactnessChecker(Checker):
         "repro/lhcds/",
         "repro/densest/exact.py",
         "repro/engine/",
+        "repro/kernels/",
     )
 
     def run(self, tree: ast.AST, context: CheckContext) -> list:

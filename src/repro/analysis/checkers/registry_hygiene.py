@@ -28,6 +28,7 @@ REGISTRABLE_BASES: Dict[str, Tuple[str, ...]] = {
     "Executor": ("name", "description"),
     "Pattern": ("name", "size"),
     "Checker": ("rule", "title"),
+    "KernelBackend": ("name", "description"),
 }
 
 

@@ -28,18 +28,20 @@ def greedy_topk_cds(
     k: int,
     *,
     instances: Optional[InstanceSet] = None,
+    kernel: Optional[str] = None,
 ) -> LhCDSResult:
     """Return up to ``k`` greedily extracted h-clique dense subgraphs.
 
     ``instances`` may carry pre-enumerated pattern instances (the engine's
-    shared preprocessing); when omitted the h-cliques are enumerated here.
+    shared preprocessing); when omitted the h-cliques are enumerated here
+    on the selected kernel backend.
     """
     timings = StageTimings()
     start = time.perf_counter()
 
     if instances is None:
         tick = time.perf_counter()
-        instances = clique_instances(graph, h)
+        instances = clique_instances(graph, h, kernel)
         timings.enumeration += time.perf_counter() - tick
 
     remaining = set(graph.vertices())

@@ -22,6 +22,11 @@ Choose an execution backend (output is bit-identical on every backend)::
     repro-lhcds topk --dataset CM --jobs 4 --executor thread
     repro-lhcds topk --dataset CM --jobs 4 --executor queue --queue-dir /tmp/q
 
+Choose a compute kernel backend (output is bit-identical on every kernel)::
+
+    repro-lhcds topk --dataset HA --kernel numpy
+    repro-lhcds kernels
+
 Run standalone workers against a shared queue directory::
 
     repro-lhcds workers --queue-dir /tmp/q --jobs 2
@@ -49,6 +54,7 @@ from .engine import (
 )
 from .engine.executors.filequeue import spawn_worker, worker_loop
 from .errors import ReproError
+from .kernels import available_kernels, describe_kernel
 from .experiments.figures import ALL_EXPERIMENTS, run_experiment
 from .graph.io import read_edge_list
 from .patterns.clique import CliquePattern
@@ -92,6 +98,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "output is bit-identical on every backend)",
     )
     topk.add_argument(
+        "--kernel",
+        choices=available_kernels(),
+        default=None,
+        help="compute kernel backend (default: $REPRO_KERNEL, then stdlib; "
+        "output is bit-identical on every kernel)",
+    )
+    topk.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -126,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="list the registered stand-in datasets")
     sub.add_parser("solvers", help="list the registered solvers")
     sub.add_parser("executors", help="list the registered execution backends")
+    sub.add_parser("kernels", help="list the registered compute kernel backends")
 
     workers = sub.add_parser(
         "workers", help="run queue workers against a shared queue directory"
@@ -184,6 +198,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
             solver=args.solver,
             jobs=args.jobs,
             executor=args.executor,
+            kernel=args.kernel,
             shards=args.shards,
             verify_batch=args.verify_batch,
             queue_dir=args.queue_dir,
@@ -261,6 +276,12 @@ def _cmd_executors() -> int:
     return 0
 
 
+def _cmd_kernels() -> int:
+    for name in available_kernels():
+        print(f"{name:8} {describe_kernel(name)}")
+    return 0
+
+
 def _cmd_workers(args: argparse.Namespace) -> int:
     """Run queue workers (in-process for one, subprocesses for several)."""
     if args.jobs < 1:
@@ -316,6 +337,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_solvers()
         if args.command == "executors":
             return _cmd_executors()
+        if args.command == "kernels":
+            return _cmd_kernels()
         if args.command == "workers":
             return _cmd_workers(args)
         if args.command == "experiment":

@@ -5,26 +5,72 @@ lists cliques inside the out-neighbourhood DAG, which bounds the branching of
 the recursion by the graph degeneracy.  This is the same enumeration strategy
 the paper relies on (its SEQ-kClist++ component and all |Psi_h| statistics in
 Table 2 are built on kClist).
+
+The recursion itself runs in the kernel layer (:mod:`repro.kernels`): this
+module builds the out-neighbour DAG once as a CSR over *rank space* (vertex
+``order[i]`` becomes integer ``i``, neighbour lists ascending) and hands it to
+:meth:`~repro.kernels.base.KernelBackend.kclist_cliques`, which returns every
+clique as ``h`` consecutive rank ids in one flat buffer.  Rank ids map back
+through ``order``, so the emitted cliques — vertices in degeneracy order,
+cliques in the DAG's depth-first order — are identical for every backend.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from array import array
+from typing import Dict, Iterator, List, Tuple, Union
 
 from ..errors import AlgorithmError
 from ..graph.graph import Graph, Vertex
 from ..graph.ordering import degeneracy_ordering
 from ..instances import InstanceSet, InstanceSetBuilder
+from ..kernels import KernelBackend, resolve_kernel
+
+KernelLike = Union[KernelBackend, str, None]
 
 
-def enumerate_cliques(graph: Graph, h: int) -> Iterator[Tuple[Vertex, ...]]:
+def _resolve(kernel: KernelLike) -> KernelBackend:
+    return kernel if isinstance(kernel, KernelBackend) else resolve_kernel(kernel)
+
+
+def _rank_csr(graph: Graph) -> Tuple[List[Vertex], array, array]:
+    """Build the degeneracy-oriented out-neighbour DAG in rank space.
+
+    Returns ``(order, indptr, nbrs)`` where rank ``i`` stands for vertex
+    ``order[i]`` and ``nbrs[indptr[i]:indptr[i + 1]]`` lists the higher-rank
+    neighbours of rank ``i`` in ascending order.
+    """
+    order, rank, _ = degeneracy_ordering(graph)
+    n = len(order)
+    indptr = array("q", bytes(8 * (n + 1)))
+    nbrs = array("q")
+    for rv, v in enumerate(order):
+        indptr[rv] = len(nbrs)
+        nbrs.extend(sorted(rank[u] for u in graph.neighbors(v) if rank[u] > rank[v]))
+    indptr[n] = len(nbrs)
+    return order, indptr, nbrs
+
+
+def _flat_cliques(graph: Graph, h: int, kernel: KernelLike) -> Tuple[List[Vertex], array]:
+    """Run the kernel recursion; cliques are ``h``-rank-id runs in the buffer."""
+    order, indptr, nbrs = _rank_csr(graph)
+    flat = _resolve(kernel).kclist_cliques(len(order), indptr, nbrs, h)
+    return order, flat
+
+
+def enumerate_cliques(
+    graph: Graph, h: int, kernel: KernelLike = None
+) -> Iterator[Tuple[Vertex, ...]]:
     """Yield every h-clique of ``graph`` exactly once.
 
     For ``h == 1`` every vertex is a clique; for ``h == 2`` every edge is.
-    Larger ``h`` uses the degeneracy-oriented DAG recursion.
+    Larger ``h`` uses the degeneracy-oriented DAG recursion on the selected
+    kernel backend (the flat result buffer is materialised up front; the
+    iterator only wraps it tuple by tuple).
 
     The order of vertices inside a yielded clique follows the degeneracy
-    ordering, so output is deterministic for a fixed graph.
+    ordering, so output is deterministic for a fixed graph and identical
+    across kernel backends.
     """
     if h < 1:
         raise AlgorithmError(f"h must be >= 1, got {h}")
@@ -35,86 +81,76 @@ def enumerate_cliques(graph: Graph, h: int) -> Iterator[Tuple[Vertex, ...]]:
             yield (v,)
         return
 
-    order, rank, _ = degeneracy_ordering(graph)
-    # Out-neighbours: neighbours that appear later in the degeneracy order.
-    out: Dict[Vertex, List[Vertex]] = {}
-    for v in order:
-        out[v] = sorted(
-            (u for u in graph.neighbors(v) if rank[u] > rank[v]),
-            key=lambda u: rank[u],
-        )
-
     if h == 2:
+        order, rank, _ = degeneracy_ordering(graph)
         for v in order:
-            for u in out[v]:
+            for u in sorted(
+                (u for u in graph.neighbors(v) if rank[u] > rank[v]),
+                key=lambda u: rank[u],
+            ):
                 yield (v, u)
         return
 
-    prefix: List[Vertex] = []
-
-    def extend(candidates: List[Vertex], depth: int) -> Iterator[Tuple[Vertex, ...]]:
-        """Recursively extend the current clique prefix with ``candidates``."""
-        if depth == h:
-            yield tuple(prefix)
-            return
-        remaining_needed = h - depth
-        for i, v in enumerate(candidates):
-            if len(candidates) - i < remaining_needed:
-                break
-            prefix.append(v)
-            if depth + 1 == h:
-                yield tuple(prefix)
-            else:
-                nbrs_v = graph.neighbors(v)
-                new_candidates = [u for u in candidates[i + 1:] if u in nbrs_v]
-                yield from extend(new_candidates, depth + 1)
-            prefix.pop()
-
-    for v in order:
-        prefix.append(v)
-        yield from extend(out[v], 1)
-        prefix.pop()
+    order, flat = _flat_cliques(graph, h, kernel)
+    for base in range(0, len(flat), h):
+        yield tuple(order[r] for r in flat[base : base + h])
 
 
-def list_cliques(graph: Graph, h: int) -> List[Tuple[Vertex, ...]]:
+def list_cliques(
+    graph: Graph, h: int, kernel: KernelLike = None
+) -> List[Tuple[Vertex, ...]]:
     """Return all h-cliques as a list (see :func:`enumerate_cliques`)."""
-    return list(enumerate_cliques(graph, h))
+    return list(enumerate_cliques(graph, h, kernel))
 
 
-def clique_instances(graph: Graph, h: int) -> InstanceSet:
+def clique_instances(graph: Graph, h: int, kernel: KernelLike = None) -> InstanceSet:
     """Return the h-cliques of ``graph`` packaged as an :class:`InstanceSet`.
 
     Cliques stream straight into the indexed builder — the enumerator
     guarantees arity and distinctness, so no per-instance validation is done.
+    Vertices are interned in emission order, which the kernel contract keeps
+    backend-independent.
     """
     builder = InstanceSetBuilder(h)
-    builder.extend(enumerate_cliques(graph, h))
+    builder.extend(enumerate_cliques(graph, h, kernel))
     return builder.build()
 
 
-def count_cliques(graph: Graph, h: int) -> int:
+def count_cliques(graph: Graph, h: int, kernel: KernelLike = None) -> int:
     """Return the number of h-cliques (|Psi_h(G)| in the paper)."""
-    return sum(1 for _ in enumerate_cliques(graph, h))
+    if h >= 3 and graph.num_vertices > 0:
+        _, flat = _flat_cliques(graph, h, kernel)
+        return len(flat) // h
+    return sum(1 for _ in enumerate_cliques(graph, h, kernel))
 
 
-def clique_degrees(graph: Graph, h: int) -> Dict[Vertex, int]:
+def clique_degrees(graph: Graph, h: int, kernel: KernelLike = None) -> Dict[Vertex, int]:
     """Return ``deg_G(v, psi_h)`` for every vertex of the graph.
 
     Vertices contained in no h-clique get degree 0 (they still matter for
     density denominators and pruning).
     """
     degrees: Dict[Vertex, int] = {v: 0 for v in graph}
-    for clique in enumerate_cliques(graph, h):
+    if h >= 3 and graph.num_vertices > 0:
+        # Count straight off the flat rank-id buffer — no tuple building.
+        order, flat = _flat_cliques(graph, h, kernel)
+        by_rank = [0] * len(order)
+        for r in flat:
+            by_rank[r] += 1
+        for rv, v in enumerate(order):
+            degrees[v] = by_rank[rv]
+        return degrees
+    for clique in enumerate_cliques(graph, h, kernel):
         for v in clique:
             degrees[v] += 1
     return degrees
 
 
-def clique_density(graph: Graph, h: int):
+def clique_density(graph: Graph, h: int, kernel: KernelLike = None):
     """Return the exact h-clique density ``|Psi_h(G)| / |V|`` as a Fraction."""
     from fractions import Fraction
 
     n = graph.num_vertices
     if n == 0:
         raise AlgorithmError("clique density of an empty graph is undefined")
-    return Fraction(count_cliques(graph, h), n)
+    return Fraction(count_cliques(graph, h, kernel), n)

@@ -28,6 +28,7 @@ def _best_response(
     universe: Set[Vertex],
     rho: Fraction,
     forced: Set[Vertex],
+    kernel: Optional[str] = None,
 ) -> Set[Vertex]:
     """Return the largest ``S`` (with ``forced`` ⊆ S) maximising |Psi(S)| - rho|S|.
 
@@ -54,7 +55,7 @@ def _best_response(
         collector.add(SOURCE, vertex_node(v), cap)
         collector.add(vertex_node(v), SINK, rho * h)
 
-    network, _ = collector.build()
+    network, _ = collector.build(kernel)
     network.solve(SOURCE, SINK)
     cut = network.min_cut_source_side(SOURCE, maximal=True)
     return {node[1] for node in cut if isinstance(node, tuple) and node[0] == "v"}
@@ -65,6 +66,7 @@ def maximal_densest_subset(
     vertices: Optional[Iterable[Vertex]] = None,
     *,
     seed: Optional[Iterable[Vertex]] = None,
+    kernel: Optional[str] = None,
 ) -> Tuple[Set[Vertex], Fraction]:
     """Return the maximal densest vertex set and its exact density.
 
@@ -111,7 +113,7 @@ def maximal_densest_subset(
     rho = marginal_density(best_set)
 
     while True:
-        candidate = _best_response(working, universe, rho, forced)
+        candidate = _best_response(working, universe, rho, forced, kernel)
         candidate |= forced
         if len(candidate) <= len(forced):
             # Nothing beats the current guess; the previous best is optimal.
@@ -129,7 +131,10 @@ def maximal_densest_subset(
 
 
 def densest_subgraph_density(
-    instances: InstanceSet, vertices: Optional[Iterable[Vertex]] = None
+    instances: InstanceSet,
+    vertices: Optional[Iterable[Vertex]] = None,
+    *,
+    kernel: Optional[str] = None,
 ) -> Fraction:
     """Return only the maximum instance density (see :func:`maximal_densest_subset`)."""
-    return maximal_densest_subset(instances, vertices)[1]
+    return maximal_densest_subset(instances, vertices, kernel=kernel)[1]

@@ -66,7 +66,7 @@ def preprocess(
     )
 
     tick = time.perf_counter()
-    instances = request.pattern.instances(graph)
+    instances = request.pattern.instances(graph, kernel=request.kernel)
     stats.enumeration_seconds = time.perf_counter() - tick
     stats.num_instances = instances.num_instances
 

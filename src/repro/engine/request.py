@@ -18,6 +18,7 @@ from typing import Any, Dict, FrozenSet, Optional
 from ..errors import EngineError
 from ..graph.graph import Graph, Vertex
 from ..instances import InstanceSet
+from ..kernels import available_kernels
 from ..lhcds.bounds import CompactBounds
 from ..lhcds.ippv import LhCDSResult, subgraph_sort_key
 from ..patterns.base import Pattern
@@ -80,6 +81,13 @@ class SolveRequest:
         ``verify_executor="queue"`` explicitly to ship batches to queue
         workers.  Both can be overridden to, say, verify on threads while
         components run in processes.
+    kernel:
+        Name of a registered kernel backend (see
+        :func:`repro.kernels.available_kernels`): ``stdlib`` or ``numpy``.
+        ``None`` (default) resolves the ``REPRO_KERNEL`` environment
+        variable, then falls back to ``stdlib``.  The kernel runs the
+        numeric inner loops (max-flow, Frank–Wolfe, clique listing);
+        results and statistics are bit-identical for every backend.
     iterations / verification / prune:
         Solver options (consumed by the solvers that understand them; the
         names match :class:`~repro.lhcds.ippv.IPPVConfig`).
@@ -103,6 +111,7 @@ class SolveRequest:
     verify_batch: int = 0
     verify_executor: Optional[str] = None
     verify_jobs: int = 0
+    kernel: Optional[str] = None
     iterations: int = 20
     verification: str = "fast"
     prune: bool = True
@@ -129,6 +138,14 @@ class SolveRequest:
             raise EngineError(
                 f"verification must be 'fast' or 'basic', got {self.verification!r}"
             )
+        if self.kernel is not None:
+            key = self.kernel.strip().lower()
+            if key not in available_kernels():
+                raise EngineError(
+                    f"unknown kernel {self.kernel!r}; available: "
+                    f"{', '.join(available_kernels())}"
+                )
+            object.__setattr__(self, "kernel", key)
 
     @property
     def h(self) -> int:
@@ -231,6 +248,8 @@ class SolveReport(LhCDSResult):
     #: Verification fan-out window actually applied to IPPV components
     #: (0 = the fan-out was off).
     verify_batch_used: int = 0
+    #: Kernel backend that ran the numeric inner loops.
+    kernel: str = "stdlib"
     preprocessing: PreprocessStats = field(default_factory=PreprocessStats)
     #: Wall-clock seconds spent solving components (sum lives in ``timings``).
     solve_seconds: float = 0.0
@@ -247,6 +266,7 @@ class SolveReport(LhCDSResult):
             "fallback_reason": self.fallback_reason,
             "shards": self.shards_used,
             "verify_batch": self.verify_batch_used,
+            "kernel": self.kernel,
             "subgraphs": [
                 {
                     "rank": rank,

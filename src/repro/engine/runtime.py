@@ -43,6 +43,7 @@ import time
 from typing import List, Optional, Tuple
 
 from ..errors import EngineError
+from ..kernels import resolve_kernel
 from ..lhcds.ippv import DenseSubgraph, LhCDSResult, StageTimings
 from ..lhcds.verify import VerificationStats, merge_verification_stats
 from .executors import (
@@ -247,6 +248,16 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
     spec = get_solver(request.solver)
     spec.validate(request)
 
+    # Resolve the kernel backend once (explicit request, then REPRO_KERNEL,
+    # then the stdlib default — same model as the executor) and pin the
+    # concrete name on the request: component tasks shipped to process or
+    # queue workers then compute on this kernel regardless of the worker's
+    # own environment.  Every backend is bit-identical, so this only keeps
+    # the report honest about what ran.
+    kernel_used = resolve_kernel(request.kernel).name
+    if request.kernel != kernel_used:
+        request = dataclasses.replace(request, kernel=kernel_used)
+
     start = time.perf_counter()
     components, stats = preprocess(
         request,
@@ -410,6 +421,7 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
         fallback_reason=fallback_reason,
         shards_used=shards_used,
         verify_batch_used=verify_plan.window if verify_plan is not None else 0,
+        kernel=kernel_used,
         preprocessing=stats,
         solve_seconds=solve_seconds,
     )

@@ -97,7 +97,9 @@ def _exact_setup(
     unsharded path so the returned dict — *including its insertion order*,
     which downstream set construction inherits — is identical.
     """
-    return exact_compact_numbers(component.instances, component.subgraph.vertices())
+    return exact_compact_numbers(
+        component.instances, component.subgraph.vertices(), request.kernel
+    )
 
 
 def _exact_split(phi: Dict[Vertex, Fraction], shards: int) -> List[List[Fraction]]:

@@ -116,6 +116,7 @@ def _solve_ippv(component: PreparedComponent, request: SolveRequest) -> LhCDSRes
         verify_batch=max(1, request.verify_batch),
         verify_jobs=max(1, request.verify_jobs),
         verify_queue_dir=request.queue_dir,
+        kernel=request.kernel,
     )
     solver = IPPV(
         component.subgraph,
@@ -129,7 +130,9 @@ def _solve_ippv(component: PreparedComponent, request: SolveRequest) -> LhCDSRes
 
 def _solve_exact(component: PreparedComponent, request: SolveRequest) -> LhCDSResult:
     start = time.perf_counter()
-    pairs = exact_top_k_lhcds(component.subgraph, component.instances, request.k)
+    pairs = exact_top_k_lhcds(
+        component.subgraph, component.instances, request.k, kernel=request.kernel
+    )
     subgraphs = [
         DenseSubgraph(
             vertices=frozenset(vertices),
@@ -152,16 +155,24 @@ def _solve_exact(component: PreparedComponent, request: SolveRequest) -> LhCDSRe
 def _solve_greedy(component: PreparedComponent, request: SolveRequest) -> LhCDSResult:
     assert request.k is not None  # enforced by SolverSpec.validate
     return greedy_topk_cds(
-        component.subgraph, request.h, request.k, instances=component.instances
+        component.subgraph,
+        request.h,
+        request.k,
+        instances=component.instances,
+        kernel=request.kernel,
     )
 
 
 def _solve_ldsflow(component: PreparedComponent, request: SolveRequest) -> LhCDSResult:
-    return lds_flow(component.subgraph, request.k, instances=component.instances)
+    return lds_flow(
+        component.subgraph, request.k, instances=component.instances, kernel=request.kernel
+    )
 
 
 def _solve_ltds(component: PreparedComponent, request: SolveRequest) -> LhCDSResult:
-    return ltds(component.subgraph, request.k, instances=component.instances)
+    return ltds(
+        component.subgraph, request.k, instances=component.instances, kernel=request.kernel
+    )
 
 
 register_solver(

@@ -1,0 +1,223 @@
+"""The pre-kernel object-graph Dinic implementation, kept as a baseline.
+
+This is the seed implementation of :class:`MaxFlowNetwork` before the flat
+CSR kernel rewrite (per-node Python adjacency lists, per-arc list storage).
+It stays in the tree for two jobs:
+
+* the flow benchmark (``benchmarks/test_flow_performance.py``) measures the
+  kernel rewrite against it — the >= 3x ``flow.dinic_maxflow_s`` target is
+  stdlib-kernel-vs-this;
+* the equivalence tests cross-check max-flow values and min-cut membership
+  of the kernel networks against it on random networks.
+
+Do not use it in solver paths; :class:`repro.flow.dinic.MaxFlowNetwork` is
+the production implementation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..errors import FlowError
+
+Node = Hashable
+
+
+class LegacyMaxFlowNetwork:
+    """A directed flow network supporting max-flow and min-cut queries.
+
+    Nodes are arbitrary hashable objects; they are mapped to dense integer
+    ids internally.  Arcs are stored in a single adjacency structure with
+    paired residual arcs (the classic "edge / edge ^ 1" layout).
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[Node, int] = {}
+        self._nodes: List[Node] = []
+        # For node i: list of (to, capacity_index) pairs.
+        self._graph: List[List[int]] = []
+        self._to: List[int] = []
+        self._cap: List[int] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> int:
+        """Register ``node`` (idempotent) and return its internal id."""
+        if node in self._ids:
+            return self._ids[node]
+        idx = len(self._nodes)
+        self._ids[node] = idx
+        self._nodes.append(node)
+        self._graph.append([])
+        return idx
+
+    def add_edge(self, src: Node, dst: Node, capacity: int) -> None:
+        """Add a directed arc ``src -> dst`` with the given integer capacity."""
+        if capacity < 0:
+            raise FlowError(f"negative capacity {capacity!r} on arc {src!r}->{dst!r}")
+        if src == dst:
+            return
+        u = self.add_node(src)
+        v = self.add_node(dst)
+        self._graph[u].append(len(self._to))
+        self._to.append(v)
+        self._cap.append(int(capacity))
+        self._graph[v].append(len(self._to))
+        self._to.append(u)
+        self._cap.append(0)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of registered nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of forward arcs (residual arcs are not counted)."""
+        return len(self._to) // 2
+
+    def has_node(self, node: Node) -> bool:
+        """Return True when ``node`` has been registered."""
+        return node in self._ids
+
+    # ------------------------------------------------------------------
+    # max flow (Dinic)
+    # ------------------------------------------------------------------
+    def max_flow(self, source: Node, sink: Node) -> int:
+        """Compute the maximum flow from ``source`` to ``sink``.
+
+        The residual capacities are left in place afterwards so min-cut
+        queries (:meth:`min_cut_source_side`) reflect this flow.
+        """
+        if source not in self._ids or sink not in self._ids:
+            raise FlowError("source or sink missing from the network")
+        s = self._ids[source]
+        t = self._ids[sink]
+        if s == t:
+            raise FlowError("source and sink must differ")
+        self._last_sink = sink
+
+        total = 0
+        n = len(self._nodes)
+        INF = float("inf")
+        while True:
+            level = self._bfs_levels(s, t)
+            if level[t] < 0:
+                break
+            iters = [0] * n
+            while True:
+                pushed = self._dfs_augment(s, t, INF, level, iters)
+                if pushed == 0:
+                    break
+                total += pushed
+        return total
+
+    def _bfs_levels(self, s: int, t: int) -> List[int]:
+        level = [-1] * len(self._nodes)
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            for eid in self._graph[v]:
+                if self._cap[eid] > 0 and level[self._to[eid]] < 0:
+                    level[self._to[eid]] = level[v] + 1
+                    queue.append(self._to[eid])
+        return level
+
+    def _dfs_augment(self, v: int, t: int, upto, level: List[int], iters: List[int]) -> int:
+        # Iterative DFS to avoid recursion limits on large networks.
+        path: List[Tuple[int, int]] = []  # (node, edge id taken from that node)
+        node = v
+        while True:
+            if node == t:
+                bottleneck = min(self._cap[eid] for _, eid in path) if path else 0
+                if not path:
+                    return 0
+                for _, eid in path:
+                    self._cap[eid] -= bottleneck
+                    self._cap[eid ^ 1] += bottleneck
+                return bottleneck
+            advanced = False
+            while iters[node] < len(self._graph[node]):
+                eid = self._graph[node][iters[node]]
+                nxt = self._to[eid]
+                if self._cap[eid] > 0 and level[nxt] == level[node] + 1:
+                    path.append((node, eid))
+                    node = nxt
+                    advanced = True
+                    break
+                iters[node] += 1
+            if advanced:
+                continue
+            # Dead end: retreat.
+            level[node] = -1
+            if not path:
+                return 0
+            node, eid = path.pop()
+            iters[node] += 1
+
+    # ------------------------------------------------------------------
+    # min cut
+    # ------------------------------------------------------------------
+    def min_cut_source_side(self, source: Node, *, maximal: bool = False) -> Set[Node]:
+        """Return the source side of a minimum s-t cut.
+
+        Must be called after :meth:`max_flow`.  With ``maximal=False`` the
+        *smallest* source side is returned (nodes reachable from the source
+        in the residual graph).  With ``maximal=True`` the *largest* source
+        side is returned (complement of the nodes that can still reach the
+        sink in the residual graph); the paper's ``DeriveCompact`` needs the
+        maximal variant because it looks for maximal compact subgraphs.
+        """
+        if source not in self._ids:
+            raise FlowError("source missing from the network")
+        if not maximal:
+            reachable = self._residual_reachable_from(self._ids[source])
+            return {self._nodes[i] for i in reachable}
+        sink_side = self._residual_reaching_sink()
+        return {self._nodes[i] for i in range(len(self._nodes)) if i not in sink_side}
+
+    def _residual_reachable_from(self, s: int) -> Set[int]:
+        seen = {s}
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            for eid in self._graph[v]:
+                if self._cap[eid] > 0 and self._to[eid] not in seen:
+                    seen.add(self._to[eid])
+                    queue.append(self._to[eid])
+        return seen
+
+    def _residual_reaching_sink(self) -> Set[int]:
+        # Nodes that can reach the sink through arcs with residual capacity.
+        # Equivalently: reverse-BFS from the sink over arcs whose *forward*
+        # residual capacity is positive.
+        sink_candidates = [i for i, node in enumerate(self._nodes) if node == self._last_sink]
+        if not sink_candidates:
+            raise FlowError("min_cut_source_side(maximal=True) requires a prior max_flow call")
+        t = sink_candidates[0]
+        seen = {t}
+        queue = deque([t])
+        while queue:
+            v = queue.popleft()
+            for eid in self._graph[v]:
+                # eid goes v -> u; its paired arc (eid ^ 1) goes u -> v.  u can
+                # reach the sink when the u -> v arc still has residual capacity.
+                u = self._to[eid]
+                if u in seen:
+                    continue
+                if self._cap[eid ^ 1] > 0:
+                    seen.add(u)
+                    queue.append(u)
+        return seen
+
+    # The sink of the last max_flow call, needed for the maximal cut query.
+    _last_sink: Optional[Node] = None
+
+    def solve(self, source: Node, sink: Node) -> int:
+        """Convenience wrapper: run :meth:`max_flow` and remember the sink."""
+        value = self.max_flow(source, sink)
+        self._last_sink = sink
+        return value

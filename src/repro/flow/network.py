@@ -13,6 +13,17 @@ Two constructions from the paper live here:
   :class:`fractions.Fraction` capacities and rescales every arc to integers
   before handing the network to Dinic, keeping all decisions exact.
 
+:func:`solve_compact_network` is the hot path (every IPPV verification runs
+through it), so it skips the hashable-node layer entirely: the
+``DeriveCompact`` capacities follow a fixed pattern (``1`` and ``h - 1`` per
+instance arc, ``degree`` and ``rho * h`` per vertex), so the arc buffers are
+assembled directly over dense integer ids — interned instance-set ids for
+the vertices, then instance / boundary / terminal ids — and handed to a
+:class:`~repro.flow.dinic.FlatFlowNetwork` computed by the selected kernel
+backend.  :func:`build_compact_network` keeps the node-labelled construction
+for callers that inspect the network itself; both describe the same network
+and therefore the same (unique) minimal/maximal min-cut sides.
+
 The cut structure (for reference, derived in the tests as well): for a vertex
 set ``A`` on the source side the cut value equals
 ``h * |Psi(G)| - h * (|Psi(A)| - rho * |A|)``, so minimising the cut maximises
@@ -28,7 +39,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..errors import FlowError
 from ..graph.graph import Vertex
 from ..instances import Instance, InstanceSet
-from .dinic import MaxFlowNetwork
+from .dinic import FlatFlowNetwork, MaxFlowNetwork
 
 SOURCE = "__source__"
 SINK = "__sink__"
@@ -54,6 +65,15 @@ def boundary_node(idx: int) -> InstanceNode:
     return ("p", idx)
 
 
+def scaled_capacity(cap: Fraction, scale: int) -> int:
+    """Return ``cap * scale`` as an exact int (``scale`` a denominator lcm).
+
+    Avoids the full Fraction multiply (and its gcd normalisation): the lcm
+    construction guarantees ``scale`` is divisible by ``cap.denominator``.
+    """
+    return cap.numerator * (scale // cap.denominator)
+
+
 class FractionalArcCollector:
     """Accumulate arcs with Fraction capacities; emit an integer network."""
 
@@ -67,15 +87,15 @@ class FractionalArcCollector:
             raise FlowError(f"negative capacity on arc {src!r} -> {dst!r}")
         self._arcs.append((src, dst, cap))
 
-    def build(self) -> Tuple[MaxFlowNetwork, int]:
+    def build(self, kernel: Optional[str] = None) -> Tuple[MaxFlowNetwork, int]:
         """Return the integer-scaled network and the scaling factor used."""
         denominators = [cap.denominator for _, _, cap in self._arcs] or [1]
         scale = lcm(*denominators)
-        network = MaxFlowNetwork()
+        network = MaxFlowNetwork(kernel)
         network.add_node(SOURCE)
         network.add_node(SINK)
         for src, dst, cap in self._arcs:
-            network.add_edge(src, dst, int(cap * scale))
+            network.add_edge(src, dst, scaled_capacity(cap, scale))
         return network, scale
 
 
@@ -85,6 +105,7 @@ def build_compact_network(
     *,
     vertices: Optional[Iterable[Vertex]] = None,
     boundary: Sequence[Tuple[Instance, int]] = (),
+    kernel: Optional[str] = None,
 ) -> Tuple[MaxFlowNetwork, int]:
     """Build the ``DeriveCompact`` flow network.
 
@@ -104,6 +125,9 @@ def build_compact_network(
         ``(instance, cnt)`` where ``cnt`` is the number of the instance's
         vertices inside the working graph.  Each contributes arcs with
         capacity ``h / cnt`` from its inner vertices, exactly as in Figure 7.
+    kernel:
+        Kernel backend name for the resulting network (None = resolve from
+        ``REPRO_KERNEL`` / default).
 
     Returns
     -------
@@ -147,7 +171,15 @@ def build_compact_network(
         collector.add(SOURCE, vertex_node(v), degrees.get(v, Fraction(0)))
         collector.add(vertex_node(v), SINK, rho * h)
 
-    return collector.build()
+    return collector.build(kernel)
+
+
+def _append_arc(arc_to: List[int], cap: List[int], u: int, v: int, capacity: int) -> None:
+    """Append one forward/residual pair to the flat buffers."""
+    arc_to.append(v)
+    arc_to.append(u)
+    cap.append(capacity)
+    cap.append(0)
 
 
 def solve_compact_network(
@@ -157,6 +189,7 @@ def solve_compact_network(
     vertices: Optional[Iterable[Vertex]] = None,
     boundary: Sequence[Tuple[Instance, int]] = (),
     maximal: bool = True,
+    kernel: Optional[str] = None,
 ) -> Set[Vertex]:
     """Solve the ``DeriveCompact`` network and return the selected vertex set.
 
@@ -164,10 +197,195 @@ def solve_compact_network(
     ``|Psi(A)| - rho * |A|`` over subsets of the working graph's vertices.
     An empty set means the maximiser is the empty set (no subgraph beats the
     threshold).
+
+    Builds the network directly over dense integer ids (see the module
+    docstring); the arc multiset is identical to
+    :func:`build_compact_network`'s, so the unique min-cut sides — and
+    therefore the result — match the node-labelled construction exactly.
     """
-    network, _ = build_compact_network(
-        instances, rho, vertices=vertices, boundary=boundary
+    h = instances.h
+    flat = instances.flat_ids
+    n_inst = instances.num_instances
+    n_covered = instances.num_interned
+    indptr = instances.incidence_indptr
+
+    # --- node-id layout: interned vertices, extra universe vertices,
+    # instance nodes, boundary nodes, source, sink. -----------------------
+    if vertices is None:
+        universe = instances.vertices()
+        extra_vertices: List[Vertex] = []
+        in_universe = None  # every interned vertex is in the universe
+    else:
+        universe = set(vertices)
+        extra_vertices = sorted(
+            (v for v in universe if instances.vertex_id(v) is None), key=repr
+        )
+        in_universe = bytearray(n_covered)
+        for vid in range(n_covered):
+            if instances.vertex_at(vid) in universe:
+                in_universe[vid] = 1
+    n_u = n_covered + len(extra_vertices)
+    extra_id_of = {v: n_u - len(extra_vertices) + i for i, v in enumerate(extra_vertices)}
+    psi_base = n_u
+    bnd_base = psi_base + n_inst
+    s_id = bnd_base + len(boundary)
+    t_id = s_id + 1
+
+    # --- one common scale for every capacity ------------------------------
+    rho_h = rho * h
+    weights: List[Fraction] = []
+    for inst, cnt in boundary:
+        if cnt <= 0:
+            raise FlowError(f"boundary instance {inst!r} has non-positive inner count {cnt}")
+        weights.append(Fraction(h, cnt))
+    scale = lcm(rho_h.denominator, *(w.denominator for w in weights))
+    cap_vp = scale  # v -> psi carries 1
+    cap_pv = (h - 1) * scale  # psi -> v carries h - 1
+    cap_vt = scaled_capacity(rho_h, scale)
+
+    # Per-vertex source capacity: instance degree plus boundary weights.
+    src_cap = [0] * n_u
+    for vid in range(n_covered):
+        src_cap[vid] = (indptr[vid + 1] - indptr[vid]) * scale
+    boundary_arcs: List[Tuple[int, int, int]] = []  # (vertex id, node, capacity)
+    for b_idx, (inst, cnt) in enumerate(boundary):
+        node = bnd_base + b_idx
+        inner = [v for v in inst if v in universe]
+        if len(inner) > cnt:
+            inner = inner[:cnt]
+        w_cap = scaled_capacity(weights[b_idx], scale)
+        for v in inner:
+            vid = instances.vertex_id(v)
+            if vid is None:
+                vid = extra_id_of[v]
+            boundary_arcs.append((vid, node, w_cap))
+            src_cap[vid] += w_cap
+
+    # --- flat paired-arc buffers ------------------------------------------
+    # The instance arcs follow a fixed pattern per (instance, member) slot:
+    # v->psi (cap 1), its residual, psi->v (cap h-1), its residual — so the
+    # capacity buffer is one repeated 4-tuple and only arc_to needs a pass.
+    # Everything is built as plain lists: the stdlib kernel computes on
+    # lists without copying, and plain Python ints hold any magnitude the
+    # huge-denominator scales can produce.
+    L = n_inst * h
+    arc_to = [0] * (4 * L)
+    pos = 0
+    fi = 0
+    for i in range(n_inst):
+        p = psi_base + i
+        for _ in range(h):
+            v = flat[fi]
+            fi += 1
+            arc_to[pos] = p
+            arc_to[pos + 1] = v
+            arc_to[pos + 2] = v
+            arc_to[pos + 3] = p
+            pos += 4
+    cap = [cap_vp, 0, cap_pv, 0] * L
+
+    for vid, node, w_cap in boundary_arcs:
+        _append_arc(arc_to, cap, vid, node, w_cap)
+        _append_arc(arc_to, cap, node, vid, cap_pv)
+
+    # Terminal arcs are emitted pre-saturated: pushing
+    # ``f = min(src_cap, cap_vt)`` along every direct ``s -> v -> t`` path is
+    # a valid flow, so handing Dinic the residual capacities skips its first
+    # (and largest) blocking-flow phase.  The kernel then only routes the
+    # rebalancing flow through the instance nodes; the final residual network
+    # is that of *a* maximum flow, so the unique min-cut sides — all this
+    # function reads — are unchanged.
+    term_j = [-1] * n_u
+    n_term = 0
+
+    def _terminal_arcs(vid: int) -> None:
+        nonlocal n_term
+        term_j[vid] = n_term
+        n_term += 1
+        sc = src_cap[vid]
+        f = sc if sc < cap_vt else cap_vt
+        _append_arc(arc_to, cap, s_id, vid, sc - f)
+        cap[-1] = f
+        _append_arc(arc_to, cap, vid, t_id, cap_vt - f)
+        cap[-1] = f
+
+    for vid in range(n_covered):
+        if in_universe is None or in_universe[vid]:
+            _terminal_arcs(vid)
+    for v in extra_vertices:
+        _terminal_arcs(extra_id_of[v])
+
+    # --- CSR index, assembled directly from the known arc layout ----------
+    # Slot ``fi`` of the flat buffers owns arc ids ``4*fi .. 4*fi+3``; the
+    # boundary pairs start at ``B`` and the terminal pairs at ``T``.  Each
+    # vertex row leads with its terminal arcs so the kernel's DFS reaches
+    # ``v -> t`` without scanning the incidence arcs first; per-node arc
+    # order is otherwise free (the min-cut sides are order-independent).
+    B = 4 * L
+    T = B + 4 * len(boundary_arcs)
+    indptr_csr = [0] * (t_id + 2)
+    arcs_csr: List[int] = []
+    append = arcs_csr.append
+    inc_ptr = instances.incidence_indptr
+    inc_pos = list(instances.incidence_positions)
+    bnd_of_vid: Dict[int, List[int]] = {}
+    for b, (vid, _node, _w) in enumerate(boundary_arcs):
+        bnd_of_vid.setdefault(vid, []).append(b)
+    for vid in range(n_u):
+        j = term_j[vid]
+        if j >= 0:
+            base = T + 4 * j
+            append(base + 1)  # residual of s -> v
+            append(base + 2)  # v -> t
+        if vid < n_covered:
+            for p in inc_pos[inc_ptr[vid] : inc_ptr[vid + 1]]:
+                q = 4 * p
+                append(q)  # v -> psi
+                append(q + 3)  # residual of psi -> v
+        for b in bnd_of_vid.get(vid, ()):
+            base = B + 4 * b
+            append(base)  # v -> boundary
+            append(base + 3)  # residual of boundary -> v
+        indptr_csr[vid + 1] = len(arcs_csr)
+    # Instance rows: slot fi holds the psi-tailed pair (4*fi+1, 4*fi+2), and
+    # instance i's h slots are consecutive — pure strided ranges.
+    psi_block = [0] * (2 * L)
+    psi_block[0::2] = range(1, 4 * L, 4)  # residuals of v -> psi
+    psi_block[1::2] = range(2, 4 * L, 4)  # psi -> v
+    arcs_csr.extend(psi_block)
+    indptr_csr[psi_base + 1 : psi_base + 1 + n_inst] = range(
+        indptr_csr[psi_base] + 2 * h, indptr_csr[psi_base] + 2 * h * n_inst + 1, 2 * h
     )
-    network.solve(SOURCE, SINK)
-    cut = network.min_cut_source_side(SOURCE, maximal=maximal)
-    return {node[1] for node in cut if isinstance(node, tuple) and node[0] == "v"}
+    for b, (_vid, node, _w) in enumerate(boundary_arcs):
+        base = B + 4 * b
+        append(base + 1)  # residual of v -> boundary
+        append(base + 2)  # boundary -> v
+        indptr_csr[node + 1] = len(arcs_csr)
+    for bi in range(len(boundary)):
+        # Boundary nodes with no surviving inner vertex keep an empty row.
+        node = bnd_base + bi
+        if indptr_csr[node + 1] < indptr_csr[node]:
+            indptr_csr[node + 1] = indptr_csr[node]
+    arcs_csr.extend(range(T, T + 4 * n_term, 4))  # s -> v arcs
+    indptr_csr[s_id + 1] = len(arcs_csr)
+    arcs_csr.extend(range(T + 3, T + 4 * n_term, 4))  # residuals of v -> t
+    indptr_csr[t_id + 1] = len(arcs_csr)
+
+    # --- solve and map the cut back to vertices ---------------------------
+    network = FlatFlowNetwork(
+        t_id + 1, kernel, arc_to=arc_to, cap=cap, indptr=indptr_csr, arcs=arcs_csr
+    )
+    network.max_flow(s_id, t_id)
+    if maximal:
+        mask = network.reaching_mask(t_id)
+        selected = [vid for vid in range(n_u) if not mask[vid]]
+    else:
+        mask = network.reachable_mask(s_id)
+        selected = [vid for vid in range(n_u) if mask[vid]]
+    result: Set[Vertex] = set()
+    for vid in selected:
+        if vid < n_covered:
+            result.add(instances.vertex_at(vid))
+        else:
+            result.add(extra_vertices[vid - n_covered])
+    return result

@@ -121,6 +121,7 @@ class InstanceSet:
         "_flat",
         "_indptr",
         "_incidence",
+        "_positions",
         "_stamp",
         "_count",
         "_epoch",
@@ -148,6 +149,7 @@ class InstanceSet:
         # them keeps `restrict` linear in the surviving instances.
         self._indptr: Optional[array] = None
         self._incidence: Optional[array] = None
+        self._positions: Optional[array] = None
         self._stamp: Optional[array] = None
         self._count: Optional[array] = None
         self._epoch = 0
@@ -173,14 +175,18 @@ class InstanceSet:
             indptr[i + 1] = indptr[i] + counts[i]
         cursor = list(indptr[:n_vertices])
         incidence = array("q", bytes(8 * len(flat)))
+        positions = array("q", bytes(8 * len(flat)))
         pos = 0
         for idx in range(n_inst):
             for _ in range(h):
                 vid = flat[pos]
-                incidence[cursor[vid]] = idx
-                cursor[vid] += 1
+                c = cursor[vid]
+                incidence[c] = idx
+                positions[c] = pos
+                cursor[vid] = c + 1
                 pos += 1
         self._incidence = incidence
+        self._positions = positions
         self._stamp = array("q", bytes(8 * n_inst))
         self._count = array("q", bytes(8 * n_inst))
         self._indptr = indptr
@@ -229,6 +235,18 @@ class InstanceSet:
         """CSR column indices of the vertex→instance adjacency (read-only)."""
         self._ensure_index()
         return self._incidence
+
+    @property
+    def incidence_positions(self) -> array:
+        """Flat positions backing :attr:`incidence_indices` (read-only).
+
+        Entry ``k`` is the index into :attr:`flat_ids` of the membership that
+        ``incidence_indices[k]`` records, i.e. ``incidence_indices[k] *
+        h + slot``.  Flow-network builders use it to address per-membership
+        arc slots without re-deriving each vertex's slot inside its instance.
+        """
+        self._ensure_index()
+        return self._positions
 
     def vertex_id(self, vertex: Vertex) -> Optional[int]:
         """Return the interned id of ``vertex`` (None if it is in no instance)."""

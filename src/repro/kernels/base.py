@@ -1,0 +1,141 @@
+"""Kernel backend protocol: the numeric cores behind the IPPV hot loops.
+
+A :class:`KernelBackend` bundles the three flat-buffer compute kernels the
+pipeline spends its wall-clock in:
+
+* **flow** — Dinic max-flow and residual reachability over a CSR arc layout
+  (paired residual arcs by ``e ^ 1``).  Capacities are integers (Python ints
+  or ``array('q')`` entries), so max-flow values and min-cut membership stay
+  exact whichever backend runs them.
+* **fw** — the SEQ-kClist++ Frank–Wolfe weight distribution over the flat
+  instance-id buffer of an :class:`~repro.instances.InstanceSet`.  The
+  per-round poorest-vertex selection is shared verbatim between backends, so
+  the resulting float weights are bit-identical across them.
+* **kclist** — the h-clique extension recursion over a degeneracy-oriented
+  out-neighbour CSR, emitting cliques into one flat id buffer.
+
+Backends register with :func:`repro.kernels.register_kernel` and are resolved
+by name (``stdlib``, ``numpy``) — explicitly per request, through the
+``REPRO_KERNEL`` environment variable, or defaulting to ``stdlib``.  The
+contract every backend must honour: for identical inputs, the *exposed*
+results (flow values, cut membership, weight vectors, clique order) are
+bit-identical to the ``stdlib`` backend's.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import ClassVar, List, Sequence, Tuple
+
+
+class KernelBackend:
+    """Base class for kernel backends (see module docstring for the contract).
+
+    Subclasses declare ``name`` / ``description`` (the registry and the CLI
+    ``kernels`` listing read them) and implement the three kernel groups.
+    All buffer arguments follow one convention: ``indptr`` is a CSR row
+    pointer of length ``n + 1``; companion index arrays are indexed by the
+    ``indptr`` slices.
+    """
+
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    # ------------------------------------------------------------------
+    # flow kernels (integer capacities; exact)
+    # ------------------------------------------------------------------
+    def max_flow(
+        self,
+        n: int,
+        indptr: Sequence[int],
+        arcs: Sequence[int],
+        arc_to: Sequence[int],
+        cap: Sequence[int],
+        s: int,
+        t: int,
+    ) -> int:
+        """Run Dinic on the CSR residual network; mutate ``cap`` in place.
+
+        ``arcs[indptr[v]:indptr[v+1]]`` lists the arc ids incident from node
+        ``v``; arc ``e`` goes to ``arc_to[e]`` with residual capacity
+        ``cap[e]``, and ``e ^ 1`` is its paired reverse arc.  Returns the
+        exact integer max-flow value; the residual capacities left in ``cap``
+        feed the min-cut queries below.
+        """
+        raise NotImplementedError
+
+    def residual_reachable(
+        self,
+        n: int,
+        indptr: Sequence[int],
+        arcs: Sequence[int],
+        arc_to: Sequence[int],
+        cap: Sequence[int],
+        s: int,
+    ) -> bytearray:
+        """Mask of nodes reachable from ``s`` through positive residual arcs.
+
+        Called after :meth:`max_flow`; the marked set is the *minimal* source
+        side of a minimum cut (unique regardless of which max flow was found).
+        """
+        raise NotImplementedError
+
+    def residual_reaching(
+        self,
+        n: int,
+        indptr: Sequence[int],
+        arcs: Sequence[int],
+        arc_to: Sequence[int],
+        cap: Sequence[int],
+        t: int,
+    ) -> bytearray:
+        """Mask of nodes that can still reach ``t`` through residual arcs.
+
+        The complement of the marked set is the *maximal* source side of a
+        minimum cut (again unique), which ``DeriveCompact`` relies on.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Frank–Wolfe kernel (floats by design; see fw_stdlib's EX01 pragma)
+    # ------------------------------------------------------------------
+    def fw_distribute(
+        self,
+        h: int,
+        flat: Sequence[int],
+        degrees: Sequence[int],
+        rank_of: Sequence[int],
+        iterations: int,
+    ) -> Tuple[array, List[float]]:
+        """Run ``iterations`` SEQ-kClist++ rounds over the flat instance ids.
+
+        ``flat`` is the ``num_instances * h`` id buffer of an
+        :class:`~repro.instances.InstanceSet`; ``degrees[vid]`` is the
+        instance degree of interned vertex ``vid`` and ``rank_of[vid]`` its
+        deterministic tie-break rank (position in the repr-sorted vertex
+        order).  Returns ``(alpha, r)``: the flat ``array('d')`` weight
+        buffer (instance ``i`` owns ``alpha[i*h:(i+1)*h]``) and the per-id
+        received-weight list.  Bit-identical across backends by contract.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # kClist kernel (integer ids; exact)
+    # ------------------------------------------------------------------
+    def kclist_cliques(
+        self,
+        n: int,
+        indptr: Sequence[int],
+        nbrs: Sequence[int],
+        h: int,
+    ) -> array:
+        """List all h-cliques of a degeneracy-oriented DAG (``h >= 3``).
+
+        Vertices are the rank ids ``0..n-1`` of the degeneracy ordering;
+        ``nbrs[indptr[v]:indptr[v+1]]`` are ``v``'s out-neighbours in
+        ascending rank order.  Returns one flat ``array('q')`` of length
+        ``h * num_cliques``; cliques appear in the canonical kClist emission
+        order (outer vertices by rank, candidates in ascending rank), which
+        downstream interning depends on.
+        """
+        raise NotImplementedError

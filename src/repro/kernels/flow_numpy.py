@@ -1,0 +1,92 @@
+"""Numpy-accelerated flow kernel: vectorised residual reachability sweeps.
+
+The augmenting-path search of Dinic is inherently sequential — each push
+changes the residual capacities the next path sees — so the numpy backend
+shares the scalar CSR core from :mod:`repro.kernels.flow_stdlib` for
+:func:`max_flow` and vectorises the cut-side queries: residual reachability
+is computed as a frontier fix-point over whole-arc boolean masks (one
+``O(m)`` vectorised sweep per BFS level instead of a Python loop per arc).
+The masks are derived from the same residual capacities the scalar core
+left behind, so the reachable sets — and therefore min-cut membership — are
+identical to the stdlib backend's.
+
+Capacities that no longer fit ``int64`` (the unbounded-int fallback path of
+:class:`repro.flow.dinic.FlatFlowNetwork`) are handed back to the stdlib
+sweep unchanged: correctness first, vectorisation where representable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from . import flow_stdlib
+
+#: Re-exported scalar core (see module docstring).
+max_flow = flow_stdlib.max_flow
+
+
+def _arc_arrays(arcs, arc_to, cap):
+    """Build the per-arc from/to/active arrays for the vectorised sweeps.
+
+    Returns ``None`` when the capacities overflow int64 — the caller falls
+    back to the exact stdlib sweep.
+    """
+    try:
+        cap_np = np.asarray(cap, dtype=np.int64)
+    except OverflowError:
+        return None
+    to_np = np.asarray(arc_to, dtype=np.int64)
+    # Arc e's tail is the head of its pair: from[e] == arc_to[e ^ 1].
+    frm_np = to_np[np.arange(to_np.size, dtype=np.int64) ^ 1]
+    return frm_np, to_np, cap_np > 0
+
+
+def _fixpoint_mask(n, frm, to, active, start):
+    """Grow ``reached`` along ``active`` arcs until no new node joins."""
+    reached = np.zeros(n, dtype=bool)
+    reached[start] = True
+    while True:
+        sel = active & reached[frm]
+        targets = to[sel]
+        fresh = targets[~reached[targets]]
+        if fresh.size == 0:
+            return reached
+        reached[fresh] = True
+
+
+def residual_reachable(
+    n: int,
+    indptr: Sequence[int],
+    arcs: Sequence[int],
+    arc_to: Sequence[int],
+    cap: Sequence[int],
+    s: int,
+) -> bytearray:
+    """Vectorised mask of nodes reachable from ``s`` over residual arcs."""
+    arrays = _arc_arrays(arcs, arc_to, cap)
+    if arrays is None:
+        return flow_stdlib.residual_reachable(n, indptr, arcs, arc_to, cap, s)
+    frm, to, active = arrays
+    return bytearray(_fixpoint_mask(n, frm, to, active, s).view(np.uint8).tobytes())
+
+
+def residual_reaching(
+    n: int,
+    indptr: Sequence[int],
+    arcs: Sequence[int],
+    arc_to: Sequence[int],
+    cap: Sequence[int],
+    t: int,
+) -> bytearray:
+    """Vectorised mask of nodes that can reach ``t`` over residual arcs.
+
+    Node ``a`` reaches node ``b`` when the arc ``a -> b`` has residual
+    capacity, so the reverse sweep walks active arcs head-to-tail.
+    """
+    arrays = _arc_arrays(arcs, arc_to, cap)
+    if arrays is None:
+        return flow_stdlib.residual_reaching(n, indptr, arcs, arc_to, cap, t)
+    frm, to, active = arrays
+    return bytearray(_fixpoint_mask(n, to, frm, active, t).view(np.uint8).tobytes())

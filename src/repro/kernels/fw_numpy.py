@@ -1,0 +1,40 @@
+"""Numpy SEQ-kClist++ kernel: vectorised init and materialisation.
+
+The per-round poorest-vertex selection is order-dependent by definition
+(each pick raises the receiving vertex before the next instance compares),
+so that loop is shared verbatim with the stdlib kernel — see
+:func:`repro.kernels.fw_stdlib.fw_select` and the scaled-space derivation in
+its module docstring.  What vectorises is everything around it: turning the
+selection counts into the final ``alpha`` buffer and scaling the received
+weights are single elementwise IEEE operations, bit-identical to the scalar
+expressions by construction.
+"""
+
+# repro: allow-file-EX01(Frank-Wolfe iterate: approximate float weights by design; stable_groups pads them with FLOAT_SLACK before any certified comparison)
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .fw_stdlib import fw_select
+
+
+def fw_distribute(
+    h: int,
+    flat: Sequence[int],
+    degrees: Sequence[int],
+    rank_of: Sequence[int],
+    iterations: int,
+) -> Tuple[array, List[float]]:
+    """Numpy kernel: shared selection rounds, vectorised materialisation."""
+    counts, w_r = fw_select(h, flat, degrees, rank_of, iterations)
+    inv_h = 1.0 / h
+    scale = 1.0 / (iterations + 1)
+    alpha_np = (np.asarray(counts, dtype=np.float64) + inv_h) * scale
+    alpha = array("d")
+    alpha.frombytes(alpha_np.tobytes())
+    r_of = (np.asarray(w_r, dtype=np.float64) * scale).tolist()
+    return alpha, r_of

@@ -1,0 +1,66 @@
+"""Numpy kClist kernel: candidate filtering via stamped fancy indexing.
+
+Same recursion shape as :mod:`repro.kernels.kclist_stdlib`, but each level's
+candidate segment is a numpy slice and the adjacency filter is one stamped
+gather (``tail[mark[tail] == stamp]``) instead of a Python loop.  Boolean
+masking preserves element order, so the emission order — and therefore the
+downstream intern order of :class:`~repro.instances.InstanceSet` — is
+identical to the stdlib kernel's.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Sequence
+
+import numpy as np
+
+
+def kclist_cliques(
+    n: int,
+    indptr: Sequence[int],
+    nbrs: Sequence[int],
+    h: int,
+) -> array:
+    """Emit all h-cliques (``h >= 3``) of the oriented DAG as one flat buffer.
+
+    See :meth:`repro.kernels.base.KernelBackend.kclist_cliques` for the
+    layout and ordering contract.
+    """
+    out = array("q")
+    if n == 0:
+        return out
+    indptr_np = np.asarray(indptr, dtype=np.int64)
+    nbrs_np = np.asarray(nbrs, dtype=np.int64)
+    mark = np.zeros(n, dtype=np.int64)
+    prefix = [0] * h
+    last = h - 1
+    stamp = 0
+
+    def extend(cand: np.ndarray, depth: int) -> None:
+        nonlocal stamp
+        if depth == last:
+            for u in cand.tolist():
+                prefix[depth] = u
+                out.extend(prefix)
+            return
+        need = h - depth
+        size = cand.size
+        for idx in range(size):
+            if size - idx < need:
+                break
+            v = int(cand[idx])
+            prefix[depth] = v
+            stamp += 1
+            mark[nbrs_np[indptr_np[v] : indptr_np[v + 1]]] = stamp
+            tail = cand[idx + 1 :]
+            sub = tail[mark[tail] == stamp]
+            if sub.size >= need - 1:
+                extend(sub, depth + 1)
+
+    for v in range(n):
+        prefix[0] = v
+        cand = nbrs_np[indptr_np[v] : indptr_np[v + 1]]
+        if cand.size >= last:
+            extend(cand, 1)
+    return out

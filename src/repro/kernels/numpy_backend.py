@@ -1,0 +1,53 @@
+"""The optional numpy kernel backend.
+
+The class is always importable (and therefore always listed by the registry)
+so requests can *name* the backend on any machine; instantiating it without
+numpy installed raises :class:`~repro.errors.KernelError` with the install
+hint.  The kernel modules themselves import numpy at module top, so they are
+only loaded once availability is established.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from ..errors import KernelError
+from .base import KernelBackend
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy  # noqa: F401
+
+    _NUMPY_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    _NUMPY_AVAILABLE = False
+
+
+class NumpyKernel(KernelBackend):
+    """Vectorised kernels on numpy buffers; requires the ``[numpy]`` extra.
+
+    Exposed results are bit-identical to :class:`StdlibKernel` by
+    construction: the order-dependent scalar cores (Dinic augmentation, the
+    Frank–Wolfe selection rounds) are shared, and the vectorised parts
+    (residual sweeps, weight materialisation, candidate filtering) perform
+    the same IEEE/integer operations elementwise.
+    """
+
+    name: ClassVar[str] = "numpy"
+    description: ClassVar[str] = (
+        "numpy-vectorised kernels (residual sweeps, FW materialisation, "
+        "clique filtering); install the [numpy] extra"
+    )
+
+    def __init__(self) -> None:
+        if not _NUMPY_AVAILABLE:  # pragma: no cover - numpy-less installs
+            raise KernelError(
+                "the numpy kernel backend requires numpy; install it with "
+                "`pip install .[numpy]` or select --kernel stdlib"
+            )
+        from . import flow_numpy, fw_numpy, kclist_numpy
+
+        self.max_flow = flow_numpy.max_flow
+        self.residual_reachable = flow_numpy.residual_reachable
+        self.residual_reaching = flow_numpy.residual_reaching
+        self.fw_distribute = fw_numpy.fw_distribute
+        self.kclist_cliques = kclist_numpy.kclist_cliques

@@ -1,0 +1,28 @@
+"""The always-available pure-Python kernel backend."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from . import flow_stdlib, fw_stdlib, kclist_stdlib
+from .base import KernelBackend
+
+
+class StdlibKernel(KernelBackend):
+    """Flat-buffer kernels on ``array`` / list storage; no dependencies.
+
+    This is the default backend and the reference for the cross-kernel
+    bit-identity contract: every other backend must reproduce its exposed
+    results exactly.
+    """
+
+    name: ClassVar[str] = "stdlib"
+    description: ClassVar[str] = (
+        "pure-Python flat-buffer kernels (stdlib array/CSR); always available"
+    )
+
+    max_flow = staticmethod(flow_stdlib.max_flow)
+    residual_reachable = staticmethod(flow_stdlib.residual_reachable)
+    residual_reaching = staticmethod(flow_stdlib.residual_reaching)
+    fw_distribute = staticmethod(fw_stdlib.fw_distribute)
+    kclist_cliques = staticmethod(kclist_stdlib.kclist_cliques)

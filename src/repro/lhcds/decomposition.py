@@ -117,6 +117,10 @@ def tentative_decomposition(
             block_of[v] = b
 
     # Redistribute weights of straddling instances to their lowest block.
+    # ``alpha`` is the flat per-slot buffer: instance i's j-th slot sits at
+    # ``i * h + j`` (the same CSR offsets as ``instances.flat_ids``).
+    alpha = state.alpha
+    h = instances.h
     for i, inst in enumerate(instances.instances):
         if not all(v in block_of for v in inst):
             continue
@@ -124,19 +128,19 @@ def tentative_decomposition(
         if len(blocks) <= 1:
             continue
         lowest = max(blocks)
-        row = state.alpha[i]
+        base = i * h
         moved = 0.0
         receivers = []
         for j, v in enumerate(inst):
             if block_of[v] != lowest:
-                moved += row[j]
-                row[j] = 0.0
+                moved += alpha[base + j]
+                alpha[base + j] = 0.0
             else:
                 receivers.append(j)
         if receivers and moved:
             share = moved / len(receivers)
             for j in receivers:
-                row[j] += share
+                alpha[base + j] += share
 
     state.recompute_r(list(vertices))
     return TentativeDecomposition(

@@ -168,6 +168,10 @@ class IPPVConfig:
     verify_jobs: int = 1
     #: Backing directory when the fan-out backend is ``queue``.
     verify_queue_dir: Optional[str] = None
+    #: Kernel backend name for the numeric inner loops (flow, Frank–Wolfe,
+    #: clique listing), or None to resolve ``REPRO_KERNEL`` / the default.
+    #: Every backend produces bit-identical results and statistics.
+    kernel: Optional[str] = None
 
 
 class _VerificationDriver:
@@ -229,7 +233,7 @@ class _VerificationDriver:
         ippv = self._ippv
         if not self._fanout:
             stats.is_densest_calls += 1
-            densest = is_densest(ippv._instances, candidate)
+            densest = is_densest(ippv._instances, candidate, ippv.config.kernel)
             verified = False
             if densest:
                 verified = ippv._verify(candidate, ippv._bounds, output_vertices, stats)
@@ -299,7 +303,14 @@ class _VerificationDriver:
         targets.extend(self._speculate(heap, output_vertices, {candidate}))
         mode = ippv.config.verification
         tasks = [
-            make_verification_task(ippv.graph, ippv._instances, ippv._bounds, subset, mode)
+            make_verification_task(
+                ippv.graph,
+                ippv._instances,
+                ippv._bounds,
+                subset,
+                mode,
+                kernel=ippv.config.kernel,
+            )
             for subset in targets
         ]
         self._batches += 1
@@ -413,7 +424,7 @@ class IPPV:
             instances = self._precomputed_instances
         else:
             tick = time.perf_counter()
-            instances = self.pattern.instances(self.graph)
+            instances = self.pattern.instances(self.graph, kernel=self.config.kernel)
             timings.enumeration += time.perf_counter() - tick
         self._instances = instances
 
@@ -523,7 +534,9 @@ class IPPV:
                 # Exact fallback: split along the maximal densest subgraph.
                 exact_splits += 1
                 local = instances.restrict(candidate)
-                dense_side, _ = maximal_densest_subset(local, candidate)
+                dense_side, _ = maximal_densest_subset(
+                    local, candidate, kernel=self.config.kernel
+                )
                 dense_side = set(dense_side)
                 remainder = set(candidate) - dense_side
                 for component in connected_components(
@@ -592,7 +605,9 @@ class IPPV:
         working = self._instances.restrict(vertices) if len(vertices) < self.graph.num_vertices else self._instances
 
         tick = time.perf_counter()
-        state = seq_kclist_plus_plus(working, self.config.iterations, vertices)
+        state = seq_kclist_plus_plus(
+            working, self.config.iterations, vertices, kernel=self.config.kernel
+        )
         timings.seq_kclist += time.perf_counter() - tick
 
         tick = time.perf_counter()
@@ -611,7 +626,13 @@ class IPPV:
         """Run the configured maximal-compactness verification."""
         assert self._instances is not None
         if self.config.verification == "basic":
-            return verify_basic(self.graph, self._instances, candidate, stats=stats)
+            return verify_basic(
+                self.graph,
+                self._instances,
+                candidate,
+                stats=stats,
+                kernel=self.config.kernel,
+            )
         return verify_fast(
             self.graph,
             self._instances,
@@ -619,6 +640,7 @@ class IPPV:
             bounds,
             output_vertices=output_vertices,
             stats=stats,
+            kernel=self.config.kernel,
         )
 
 
@@ -629,9 +651,10 @@ def find_lhcds(
     *,
     iterations: int = 20,
     verification: str = "fast",
+    kernel: Optional[str] = None,
 ) -> LhCDSResult:
     """Convenience wrapper: top-``k`` locally h-clique densest subgraphs."""
-    config = IPPVConfig(iterations=iterations, verification=verification)
+    config = IPPVConfig(iterations=iterations, verification=verification, kernel=kernel)
     return IPPV(graph, CliquePattern(h), config).run(k)
 
 
@@ -642,7 +665,8 @@ def find_lhxpds(
     *,
     iterations: int = 20,
     verification: str = "fast",
+    kernel: Optional[str] = None,
 ) -> LhCDSResult:
     """Convenience wrapper: top-``k`` locally pattern densest subgraphs (Algorithm 7)."""
-    config = IPPVConfig(iterations=iterations, verification=verification)
+    config = IPPVConfig(iterations=iterations, verification=verification, kernel=kernel)
     return IPPV(graph, pattern, config).run(k)

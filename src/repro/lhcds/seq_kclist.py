@@ -6,32 +6,42 @@ by ``u``.  At the optimum of the convex program CP(G, h) the value ``r*(u)``
 equals the h-clique compact number ``phi_h(u)`` (Theorem 2); a finite number
 of iterations yields a feasible approximation that the stable-group stage
 turns into valid lower/upper bounds (Theorem 4).
+
+The numeric inner loop lives in the kernel layer (:mod:`repro.kernels`): the
+weights are laid out as one flat ``array('d')`` buffer indexed by the CSR
+instance offsets of :class:`~repro.instances.InstanceSet` (instance ``i``'s
+``j``-th slot is ``alpha[i * h + j]``), and the per-round water-filling runs
+on the backend selected by :func:`repro.kernels.resolve_kernel`.
 """
 
 # repro: allow-file-EX01(Frank-Wolfe iterate: approximate float weights by design; stable_groups pads them with FLOAT_SLACK before any certified comparison)
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from ..errors import AlgorithmError
 from ..graph.graph import Vertex
 from ..instances import InstanceSet
+from ..kernels import KernelBackend, resolve_kernel
 
 
 @dataclass
 class WeightState:
     """The (alpha, r) pair produced by SEQ-kClist++.
 
-    ``alpha[i][j]`` is the weight instance ``i`` assigns to its ``j``-th
-    vertex (positions follow ``instances.instances[i]``); ``r[v]`` is the sum
-    of weights received by vertex ``v``.  Feasibility invariant: each row of
-    ``alpha`` is non-negative and sums to 1.
+    ``alpha`` is a flat buffer of ``num_instances * h`` weights laid out in
+    the instance-set's CSR order: ``alpha[i * h + j]`` is the weight instance
+    ``i`` assigns to its ``j``-th vertex (positions follow
+    ``instances.instances[i]``, i.e. ``instances.flat_ids[i * h + j]``).
+    ``r[v]`` is the sum of weights received by vertex ``v``.  Feasibility
+    invariant: each instance's ``h`` slots are non-negative and sum to 1.
     """
 
     instances: InstanceSet
-    alpha: List[List[float]]
+    alpha: array
     r: Dict[Vertex, float]
 
     def received(self, vertex: Vertex) -> float:
@@ -40,21 +50,28 @@ class WeightState:
 
     def recompute_r(self, vertices: Optional[Sequence[Vertex]] = None) -> None:
         """Recompute ``r`` from ``alpha`` (used after redistribution)."""
-        universe = set(vertices) if vertices is not None else self.instances.vertices()
+        instances = self.instances
+        universe = set(vertices) if vertices is not None else instances.vertices()
+        n_vertices = instances.num_interned
+        r_of = [0.0] * n_vertices
+        alpha = self.alpha
+        for pos, vid in enumerate(instances.flat_ids):
+            r_of[vid] += alpha[pos]
         r = {v: 0.0 for v in universe}
-        for i, inst in enumerate(self.instances.instances):
-            row = self.alpha[i]
-            for j, v in enumerate(inst):
-                if v in r:
-                    r[v] += row[j]
+        for vid in range(n_vertices):
+            v = instances.vertex_at(vid)
+            if v in r:
+                r[v] = r_of[vid]
         self.r = r
 
     def check_feasible(self, tolerance: float = 1e-6) -> bool:
         """Return True when every instance's weights are a distribution."""
-        for row in self.alpha:
-            if any(w < -tolerance for w in row):
-                return False
-            if abs(sum(row) - 1.0) > tolerance:
+        alpha = self.alpha
+        h = self.instances.h
+        if any(w < -tolerance for w in alpha):
+            return False
+        for base in range(0, len(alpha), h):
+            if abs(sum(alpha[base : base + h]) - 1.0) > tolerance:
                 return False
         return True
 
@@ -63,6 +80,7 @@ def seq_kclist_plus_plus(
     instances: InstanceSet,
     iterations: int,
     vertices: Optional[Sequence[Vertex]] = None,
+    kernel: Union[KernelBackend, str, None] = None,
 ) -> WeightState:
     """Run the SEQ-kClist++ iterations and return the resulting weights.
 
@@ -75,49 +93,28 @@ def seq_kclist_plus_plus(
     vertices:
         Optional vertex universe; vertices outside every instance keep
         ``r = 0`` implicitly.
+    kernel:
+        Kernel backend (instance, registered name, or None for the
+        environment default) that runs the water-filling rounds.
     """
     if iterations < 0:
         raise AlgorithmError(f"iterations must be non-negative, got {iterations}")
+    backend = kernel if isinstance(kernel, KernelBackend) else resolve_kernel(kernel)
     h = instances.h
-    n_inst = instances.num_instances
     flat = instances.flat_ids
     n_vertices = instances.num_interned
-    alpha: List[List[float]] = [[1.0 / h] * h for _ in range(n_inst)]
 
-    # The whole iteration runs over interned integer ids; the vertex-keyed
-    # ``r`` dict is only materialised at the end.  Ties in the poorest-vertex
-    # selection break on the vertex repr, exactly as the instance-tuple
-    # formulation did.
-    r_of: List[float] = [0.0] * n_vertices
-    init = 1.0 / h
-    for vid in flat:
-        r_of[vid] += init
-    repr_of: List[str] = [repr(instances.vertex_at(vid)) for vid in range(n_vertices)]
+    # Per-vertex incidence degrees seed r (every incident instance contributes
+    # 1/h), and the repr-sorted rank replaces per-comparison string tie-breaks
+    # in the poorest-vertex selection — same order, integer compares.
+    indptr = instances.incidence_indptr
+    degrees = [indptr[vid + 1] - indptr[vid] for vid in range(n_vertices)]
+    reprs = [repr(instances.vertex_at(vid)) for vid in range(n_vertices)]
+    rank_of = [0] * n_vertices
+    for rank, vid in enumerate(sorted(range(n_vertices), key=reprs.__getitem__)):
+        rank_of[vid] = rank
 
-    for t in range(1, iterations + 1):
-        gamma = 1.0 / (t + 1)
-        shrink = 1.0 - gamma
-        for row in alpha:
-            for j in range(h):
-                row[j] *= shrink
-        for vid in range(n_vertices):
-            r_of[vid] *= shrink
-        base = 0
-        for i in range(n_inst):
-            # Give the iteration's mass to the currently poorest vertex.
-            j_min = 0
-            vid = flat[base]
-            best = (r_of[vid], repr_of[vid])
-            for j in range(1, h):
-                vid = flat[base + j]
-                key = (r_of[vid], repr_of[vid])
-                if key < best:
-                    best = key
-                    j_min = j
-            alpha[i][j_min] += gamma
-            vid_min = flat[base + j_min]
-            r_of[vid_min] += gamma
-            base += h
+    alpha, r_of = backend.fw_distribute(h, flat, degrees, rank_of, iterations)
 
     universe = set(vertices) if vertices is not None else instances.vertices()
     r: Dict[Vertex, float] = {v: 0.0 for v in universe}

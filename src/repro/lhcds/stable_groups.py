@@ -103,14 +103,13 @@ def _group_is_stable(
             checked.add(idx)
             base = idx * h
             ids = flat[base : base + h]
-            row = alpha[idx]
             for j, vid in enumerate(ids):
-                if vid in above_ids and row[j] > FLOAT_SLACK:
+                if vid in above_ids and alpha[base + j] > FLOAT_SLACK:
                     # Condition 2 violated.
                     return False
             if any(vid in below_ids for vid in ids):
                 for j, vid in enumerate(ids):
-                    if vid in member_ids and row[j] > FLOAT_SLACK:
+                    if vid in member_ids and alpha[base + j] > FLOAT_SLACK:
                         # Condition 3 violated.
                         return False
     return True

@@ -57,7 +57,11 @@ def merge_verification_stats(total: VerificationStats, delta: VerificationStats)
     total.closure_sizes.extend(delta.closure_sizes)
 
 
-def is_densest(instances: InstanceSet, candidate: Iterable[Vertex]) -> bool:
+def is_densest(
+    instances: InstanceSet,
+    candidate: Iterable[Vertex],
+    kernel: Optional[str] = None,
+) -> bool:
     """Return True when no subset of ``candidate`` is strictly denser.
 
     ``instances`` may be the instances of the host graph; only instances
@@ -75,7 +79,9 @@ def is_densest(instances: InstanceSet, candidate: Iterable[Vertex]) -> bool:
     # denser subset exists iff the maximiser of |Psi(A)| - rho'|A| is
     # non-empty.
     rho_prime = rho + Fraction(1, 2 * n * n)
-    denser = solve_compact_network(local, rho_prime, vertices=subset, maximal=True)
+    denser = solve_compact_network(
+        local, rho_prime, vertices=subset, maximal=True, kernel=kernel
+    )
     return len(denser) == 0
 
 
@@ -83,6 +89,7 @@ def derive_compact_subgraphs(
     instances: InstanceSet,
     vertices: Iterable[Vertex],
     rho: Fraction,
+    kernel: Optional[str] = None,
 ) -> Set[Vertex]:
     """Return the union of all maximal ``rho``-compact subgraphs (Theorem 5).
 
@@ -99,7 +106,9 @@ def derive_compact_subgraphs(
     if target < 0:
         target = Fraction(0)
     working = instances.restrict(universe)
-    return solve_compact_network(working, target, vertices=universe, maximal=True)
+    return solve_compact_network(
+        working, target, vertices=universe, maximal=True, kernel=kernel
+    )
 
 
 def _is_component_of(graph: Graph, candidate: Set[Vertex], region: Set[Vertex]) -> bool:
@@ -118,13 +127,14 @@ def verify_basic(
     candidate: Iterable[Vertex],
     *,
     stats: Optional[VerificationStats] = None,
+    kernel: Optional[str] = None,
 ) -> bool:
     """Algorithm 4: verify maximal compactness against the whole graph."""
     subset = set(candidate)
     if not subset:
         return False
     rho = Fraction(instances.count_within(subset), len(subset))
-    region = derive_compact_subgraphs(instances, graph.vertices(), rho)
+    region = derive_compact_subgraphs(instances, graph.vertices(), rho, kernel)
     if stats is not None:
         stats.flow_verifications += 1
         stats.closure_sizes.append(graph.num_vertices)
@@ -178,6 +188,7 @@ def verify_fast(
     *,
     output_vertices: Optional[Set[Vertex]] = None,
     stats: Optional[VerificationStats] = None,
+    kernel: Optional[str] = None,
 ) -> bool:
     """Algorithm 5: verify maximal compactness on a reduced region.
 
@@ -220,7 +231,7 @@ def verify_fast(
             stats.short_circuit_true += 1
         return True
 
-    region = derive_compact_subgraphs(instances, closure, rho)
+    region = derive_compact_subgraphs(instances, closure, rho, kernel)
     if stats is not None:
         stats.flow_verifications += 1
     return _is_component_of(graph, subset, region)
@@ -265,21 +276,33 @@ class VerificationTask:
     instances: InstanceSet
     bounds: CompactBounds
     mode: str = "fast"
+    #: Kernel backend *name* (picklable — resolved inside the worker), or
+    #: None for the worker's environment default.
+    kernel: Optional[str] = None
 
     def run(self) -> VerificationVerdict:
         """Execute the verification; mirrors one serial driver iteration."""
         stats = VerificationStats()
         stats.is_densest_calls += 1
-        densest = is_densest(self.instances, self.candidate)
+        densest = is_densest(self.instances, self.candidate, self.kernel)
         verified = False
         if densest:
             if self.mode == "basic":
                 verified = verify_basic(
-                    self.graph, self.instances, self.candidate, stats=stats
+                    self.graph,
+                    self.instances,
+                    self.candidate,
+                    stats=stats,
+                    kernel=self.kernel,
                 )
             else:
                 verified = verify_fast(
-                    self.graph, self.instances, self.candidate, self.bounds, stats=stats
+                    self.graph,
+                    self.instances,
+                    self.candidate,
+                    self.bounds,
+                    stats=stats,
+                    kernel=self.kernel,
                 )
         return VerificationVerdict(
             candidate=self.candidate, densest=densest, verified=verified, stats=stats
@@ -292,6 +315,7 @@ def make_verification_task(
     bounds: CompactBounds,
     candidate: Iterable[Vertex],
     mode: str = "fast",
+    kernel: Optional[str] = None,
 ) -> VerificationTask:
     """Slice out everything one candidate's verification needs.
 
@@ -323,4 +347,5 @@ def make_verification_task(
         instances=instances.restrict(region),
         bounds=sliced,
         mode=mode,
+        kernel=kernel,
     )

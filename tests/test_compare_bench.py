@@ -1,0 +1,68 @@
+"""Tests for scripts/compare_bench.py (the CI benchmark-trend gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench", REPO_ROOT / "scripts" / "compare_bench.py"
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def _write(tmp_path, name, metrics):
+    path = tmp_path / name
+    path.write_text(json.dumps({"schema": "repro-bench/1", "metrics": metrics}))
+    return str(path)
+
+
+class TestCompareBench:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        current = _write(tmp_path, "current.json", {"a_s": 1.0, "b_s": 2.0})
+        baseline = _write(tmp_path, "baseline.json", {"a_s": 1.0, "b_s": 2.0})
+        assert compare_bench.main([current, baseline]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_warns_but_exits_zero_by_default(self, tmp_path, capsys):
+        current = _write(tmp_path, "current.json", {"a_s": 2.0})
+        baseline = _write(tmp_path, "baseline.json", {"a_s": 1.0})
+        assert compare_bench.main([current, baseline]) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_fail_on_regression_flag_exits_nonzero(self, tmp_path):
+        current = _write(tmp_path, "current.json", {"a_s": 2.0})
+        baseline = _write(tmp_path, "baseline.json", {"a_s": 1.0})
+        assert compare_bench.main([current, baseline, "--fail-on-regression"]) == 1
+
+    def test_fail_on_pct_tolerates_noise_below_limit(self, tmp_path, capsys):
+        # 2x the baseline: warns (threshold 1.25) but stays under the 200%
+        # (= 3x) hard limit, so the lenient CI gate passes.
+        current = _write(tmp_path, "current.json", {"a_s": 2.0})
+        baseline = _write(tmp_path, "baseline.json", {"a_s": 1.0})
+        assert compare_bench.main([current, baseline, "--fail-on", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "FAIL" not in out
+
+    def test_fail_on_pct_fails_on_blowup(self, tmp_path, capsys):
+        current = _write(tmp_path, "current.json", {"a_s": 3.5, "b_s": 1.0})
+        baseline = _write(tmp_path, "baseline.json", {"a_s": 1.0, "b_s": 1.0})
+        assert compare_bench.main([current, baseline, "--fail-on", "200"]) == 1
+        assert "FAIL: a_s is 3.50x" in capsys.readouterr().out
+
+    def test_fail_on_pct_catches_blowups_below_warn_threshold(self, tmp_path):
+        # --fail-on tighter than the warn threshold still fails: the hard
+        # limit is checked against every compared metric, not only the ones
+        # that crossed the warning threshold.
+        current = _write(tmp_path, "current.json", {"a_s": 1.2})
+        baseline = _write(tmp_path, "baseline.json", {"a_s": 1.0})
+        assert compare_bench.main([current, baseline, "--fail-on", "10"]) == 1
+
+    def test_new_and_missing_metrics_are_reported_not_failed(self, tmp_path, capsys):
+        current = _write(tmp_path, "current.json", {"new_s": 1.0})
+        baseline = _write(tmp_path, "baseline.json", {"old_s": 1.0})
+        assert compare_bench.main([current, baseline, "--fail-on", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "new" in out and "missing" in out
