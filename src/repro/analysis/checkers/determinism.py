@@ -69,6 +69,7 @@ class DeterminismChecker(Checker):
         "repro/patterns/",
         "repro/instances.py",
         "repro/kernels/",
+        "repro/server/",
     )
 
     def run(self, tree: ast.AST, context: CheckContext) -> list:

@@ -1,6 +1,7 @@
 """EX01 — exactness: certified modules must not leak floats.
 
-The certified modules (``lhcds/``, ``densest/exact.py``, ``engine/``) carry
+The certified modules (``lhcds/``, ``densest/exact.py``, ``engine/``,
+``kernels/``, ``server/``) carry
 the repository's exactness guarantee: densities and certificates are
 :class:`~fractions.Fraction` values, and every comparison on the certificate
 path is exact.  One careless ``float()`` is enough to void a certificate —
@@ -51,6 +52,7 @@ class ExactnessChecker(Checker):
         "repro/densest/exact.py",
         "repro/engine/",
         "repro/kernels/",
+        "repro/server/",
     )
 
     def run(self, tree: ast.AST, context: CheckContext) -> list:

@@ -31,6 +31,13 @@ Run standalone workers against a shared queue directory::
 
     repro-lhcds workers --queue-dir /tmp/q --jobs 2
 
+Reuse preprocessing across solves (warm artifact cache), inspect it, or
+run the persistent solve service::
+
+    repro-lhcds topk --dataset HA --cache-dir ~/.cache/repro
+    repro-lhcds cache stats --cache-dir ~/.cache/repro
+    repro-lhcds serve --port 8765 --register ha=HA
+
 Reproduce one of the paper's tables or figures::
 
     repro-lhcds experiment figure9
@@ -48,12 +55,16 @@ from .engine import (
     SolveRequest,
     available_executors,
     available_solvers,
+    cache_for,
     describe_executor,
     get_solver,
+    resolve_cache_dir,
     solve,
 )
 from .engine.executors.filequeue import spawn_worker, worker_loop
+from .engine.worker import DEFAULT_POLL_SECONDS
 from .errors import ReproError
+from .server import app as server_app
 from .kernels import available_kernels, describe_kernel
 from .experiments.figures import ALL_EXPERIMENTS, run_experiment
 from .graph.io import read_edge_list
@@ -124,6 +135,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="backing directory for --executor queue (default: private tempdir)",
     )
     topk.add_argument(
+        "--cache-dir",
+        default=None,
+        help="warm preprocessed-index cache directory (default: $REPRO_CACHE, "
+        "then off; cache-hit output is bit-identical to a cold solve)",
+    )
+    topk.add_argument(
         "--json",
         action="store_true",
         help="emit a machine-readable JSON report instead of text",
@@ -151,8 +168,9 @@ def _build_parser() -> argparse.ArgumentParser:
     workers.add_argument(
         "--poll",
         type=float,
-        default=0.1,
-        help="seconds each worker sleeps when the queue is empty (default 0.1)",
+        default=DEFAULT_POLL_SECONDS,
+        help="seconds each worker sleeps when the queue is empty "
+        f"(default {DEFAULT_POLL_SECONDS})",
     )
     workers.add_argument(
         "--max-tasks",
@@ -164,6 +182,50 @@ def _build_parser() -> argparse.ArgumentParser:
         "--exit-when-empty",
         action="store_true",
         help="stop workers as soon as no pending task is available",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear a warm preprocessed-index cache"
+    )
+    cache.add_argument(
+        "action", choices=["ls", "stats", "clear"], help="what to do with the cache"
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE)",
+    )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent solve service (python -m repro.server)"
+    )
+    serve.add_argument("--host", default=server_app.DEFAULT_HOST, help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=server_app.DEFAULT_PORT,
+        help="bind port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="preprocess-cache directory (default: $REPRO_CACHE, then a "
+        "private temporary directory)",
+    )
+    serve.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="NAME=DATASET",
+        help="register a dataset graph at startup (repeatable)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
     )
 
     experiment = sub.add_parser("experiment", help="reproduce a table or figure")
@@ -202,6 +264,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
             shards=args.shards,
             verify_batch=args.verify_batch,
             queue_dir=args.queue_dir,
+            cache_dir=args.cache_dir,
             iterations=args.iterations,
             verification=args.verification,
         )
@@ -239,6 +302,9 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     print(f"# engine: {pre.num_active_components}/{pre.num_components} components "
           f"solvable, {pre.num_skipped_components} skipped by bounds, "
           f"{report.jobs_used} worker(s) via {report.executor}{sharded}{fanned}")
+    if pre.cache_state != "off":
+        print(f"# cache: {pre.cache_state} ({pre.cache_seconds:.3f}s) "
+              f"key={pre.cache_key[:16]}…")
     if report.fallback_reason:
         print(f"# note: {report.fallback_reason}")
     return 0
@@ -280,6 +346,67 @@ def _cmd_kernels() -> int:
     for name in available_kernels():
         print(f"{name:8} {describe_kernel(name)}")
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect (``ls`` / ``stats``) or ``clear`` a preprocess cache directory."""
+    root = resolve_cache_dir(args.cache_dir)
+    if root is None:
+        print(
+            "error: no cache directory (pass --cache-dir or set $REPRO_CACHE)",
+            file=sys.stderr,
+        )
+        return 1
+    cache = cache_for(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        if args.json:
+            print(json.dumps({"root": cache.root, "removed": removed}, indent=2))
+        else:
+            print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    if args.action == "stats":
+        summary = cache.summary()
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        counters = summary["counters"]
+        print(f"cache {summary['root']}")
+        print(f"entries {summary['num_entries']}  "
+              f"bytes {summary['total_bytes']}/{summary['max_bytes']}  "
+              f"warm-in-memory {summary['memory_entries']}")
+        print(f"hits {counters['hits']}  misses {counters['misses']}  "
+              f"stores {counters['stores']}  evictions {counters['evictions']}")
+        return 0
+    entries = cache.entries()
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"cache {cache.root}: empty")
+        return 0
+    print(f"{'key':16} {'pattern':10} {'|V|':>6} {'|Psi|':>8} {'bytes':>9} {'hits':>5}")
+    for entry in entries:
+        meta = entry.get("meta", {})
+        print(
+            f"{entry['key'][:16]:16} {str(meta.get('pattern', '?')):10} "
+            f"{str(meta.get('num_vertices', '?')):>6} "
+            f"{str(meta.get('num_instances', '?')):>8} "
+            f"{entry.get('size_bytes', 0):>9} {entry.get('hits', 0):>5}"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent solve service (thin wrapper over repro.server)."""
+    argv = ["--host", args.host, "--port", str(args.port)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    for item in args.register:
+        argv += ["--register", item]
+    if args.verbose:
+        argv.append("--verbose")
+    return server_app.main(argv)
 
 
 def _cmd_workers(args: argparse.Namespace) -> int:
@@ -341,6 +468,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_kernels()
         if args.command == "workers":
             return _cmd_workers(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "experiment":
             print(run_experiment(args.name).render())
             return 0

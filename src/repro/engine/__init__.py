@@ -29,7 +29,8 @@ from .executors import (
     get_executor,
     register_executor,
 )
-from .preprocess import preprocess
+from .cache import PreprocessCache, cache_for, cache_key, resolve_cache_dir
+from .preprocess import cold_preprocess, preprocess
 from .request import (
     PreparedComponent,
     PreprocessStats,
@@ -49,6 +50,11 @@ from .solvers import (
 
 __all__ = [
     "preprocess",
+    "cold_preprocess",
+    "PreprocessCache",
+    "cache_for",
+    "cache_key",
+    "resolve_cache_dir",
     "PreparedComponent",
     "PreprocessStats",
     "SolveReport",

@@ -24,6 +24,13 @@ same pipeline exactly once:
 
 Components containing no instance are dropped: no solver ever reports a
 subgraph with zero instances, so they cannot contribute output.
+
+When the request names a cache directory (``SolveRequest.cache_dir``,
+``--cache-dir``, ``$REPRO_CACHE``), :func:`preprocess` becomes a cache-aware
+front door: the pipeline's output is keyed by the graph's content digest and
+the pattern's identity (see :mod:`repro.engine.cache`), warm keys skip the
+pipeline entirely, and cold keys store their artifact for the next request.
+Hit or miss, the returned components are bit-identical.
 """
 
 from __future__ import annotations
@@ -37,10 +44,69 @@ from ..graph.graph import Graph
 from ..instances import InstanceSet
 from ..lhcds.bounds import initialize_bounds
 from ..lhcds.prune import prune_invalid_vertices
+from .cache import STATE_MISS, cache_for, cache_key, resolve_cache_dir
 from .request import PreparedComponent, PreprocessStats, SolveRequest
 
 
 def preprocess(
+    request: SolveRequest,
+    *,
+    prune_stats: bool = False,
+    compute_bounds: bool = True,
+) -> Tuple[List[PreparedComponent], PreprocessStats]:
+    """Run the shared pipeline (or serve it warm from the artifact cache).
+
+    Without a configured cache directory this is exactly the cold pipeline
+    (:func:`cold_preprocess`).  With one, the pipeline's output is fetched
+    by content key when warm and stored after computing when cold; the
+    ``cache_state`` / ``cache_key`` / ``cache_seconds`` fields of the
+    returned stats record which path ran.
+    """
+    root = resolve_cache_dir(request.cache_dir)
+    if root is None:
+        return cold_preprocess(
+            request, prune_stats=prune_stats, compute_bounds=compute_bounds
+        )
+    cache = cache_for(root)
+    tick = time.perf_counter()
+    key = cache_key(
+        request.graph,
+        request.pattern,
+        bounds_stage=compute_bounds or prune_stats,
+        prune_stage=prune_stats and request.prune,
+    )
+    warm = cache.fetch(key)
+    lookup_seconds = time.perf_counter() - tick
+    if warm is not None:
+        components, stats, state = warm
+        stats.cache_state = state
+        stats.cache_key = key
+        stats.cache_seconds = lookup_seconds
+        return components, stats
+    components, stats = cold_preprocess(
+        request, prune_stats=prune_stats, compute_bounds=compute_bounds
+    )
+    tick = time.perf_counter()
+    cache.store(
+        key,
+        components,
+        stats,
+        meta={
+            "pattern": request.pattern.name,
+            "h": request.h,
+            "num_vertices": stats.num_vertices,
+            "num_edges": stats.num_edges,
+            "num_instances": stats.num_instances,
+            "num_active_components": stats.num_active_components,
+        },
+    )
+    stats.cache_state = STATE_MISS
+    stats.cache_key = key
+    stats.cache_seconds = lookup_seconds + (time.perf_counter() - tick)
+    return components, stats
+
+
+def cold_preprocess(
     request: SolveRequest,
     *,
     prune_stats: bool = False,

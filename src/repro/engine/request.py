@@ -64,6 +64,13 @@ class SolveRequest:
         (default) uses a private temporary directory; point it at a shared
         directory to let externally started workers
         (``python -m repro.engine.worker --queue DIR``) claim tasks.
+    cache_dir:
+        Directory backing the warm preprocessed-index cache (see
+        :mod:`repro.engine.cache`).  ``None`` (default) resolves the
+        ``REPRO_CACHE`` environment variable; when neither names a
+        directory, every solve preprocesses cold.  Cache-hit solves are
+        bit-identical to cold solves — the cache only moves where the
+        prepared components come from.
     verify_batch:
         Verification fan-out window for solvers that support it (currently
         ``ippv``): the driver verifies up to this many priority-queue
@@ -108,6 +115,7 @@ class SolveRequest:
     executor: Optional[str] = None
     shards: int = 0
     queue_dir: Optional[str] = None
+    cache_dir: Optional[str] = None
     verify_batch: int = 0
     verify_executor: Optional[str] = None
     verify_jobs: int = 0
@@ -219,6 +227,14 @@ class PreprocessStats:
     split_seconds: float = 0.0
     bounds_seconds: float = 0.0
     prune_seconds: float = 0.0
+    #: How this result was obtained: ``"off"`` (no cache configured),
+    #: ``"miss"`` (computed cold and stored), ``"hit"`` (loaded from disk),
+    #: or ``"hit-memory"`` (served from the in-process warm layer).
+    cache_state: str = "off"
+    #: Preprocess-cache key of the (graph, pattern) pair (``""`` = off).
+    cache_key: str = ""
+    #: Seconds spent keying, loading, or storing the cache artifact.
+    cache_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         """Return the stats as a plain dictionary (JSON-friendly)."""

@@ -20,6 +20,12 @@ from typing import Optional, Sequence
 
 from .executors.filequeue import worker_loop
 
+#: Seconds an idle worker sleeps between queue polls.  Declared float
+#: storage (a wall-clock scheduling knob, never a certificate value); the
+#: argparse default below reuses it so the CLI and the constant cannot
+#: drift.
+DEFAULT_POLL_SECONDS: float = 0.1
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -30,8 +36,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--poll",
         type=float,
-        default=0.1,
-        help="seconds to sleep when the queue is empty (default 0.1)",
+        default=DEFAULT_POLL_SECONDS,
+        help=f"seconds to sleep when the queue is empty (default {DEFAULT_POLL_SECONDS})",
     )
     parser.add_argument(
         "--max-tasks",

@@ -16,6 +16,7 @@ setting of simple undirected graphs.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
 
 from ..errors import GraphError
@@ -191,6 +192,38 @@ class Graph:
                     sub.add_edge(u, v)
         return sub
 
+    def content_key(self) -> str:
+        """Return a stable hex digest of the graph's *content*.
+
+        Two graphs have equal keys iff they have the same vertex labels and
+        the same edge set — regardless of construction order, per-process
+        hash seeds, or which of several equal objects they are.  Vertices
+        are encoded by type and ``repr`` and sorted, so reloading the same
+        edge list (or any label-preserving round-trip) reproduces the key.
+        The digest is the graph half of the preprocess-cache key (see
+        :mod:`repro.engine.cache`).
+        """
+        encoded = {v: _encode_vertex(v) for v in self._adj}
+        digest = hashlib.sha256()
+        digest.update(b"repro-graph/1\x00")
+        for token in sorted(encoded.values()):
+            digest.update(b"v\x00")
+            digest.update(token)
+        edge_tokens = []
+        for u, nbrs in self._adj.items():
+            eu = encoded[u]
+            for v in nbrs:
+                ev = encoded[v]
+                if eu <= ev:
+                    edge_tokens.append(eu + b"\x00" + ev)
+        # Each undirected edge contributes once per endpoint ordering; the
+        # sorted stream makes the digest independent of adjacency-set order.
+        edge_tokens.sort()
+        for token in edge_tokens:
+            digest.update(b"e\x00")
+            digest.update(token)
+        return digest.hexdigest()
+
     def relabelled(self) -> Tuple["Graph", Dict[Vertex, int], List[Vertex]]:
         """Return a copy with vertices relabelled to ``0..n-1``.
 
@@ -217,6 +250,16 @@ class Graph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+
+def _encode_vertex(v: Vertex) -> bytes:
+    """Deterministic byte encoding of a vertex label (type-tagged ``repr``).
+
+    ``repr`` of the label types the package uses (ints, strings, tuples of
+    those) is stable across processes and hash seeds; the type tag keeps
+    ``1`` and ``"1"`` distinct.
+    """
+    return f"{type(v).__module__}.{type(v).__qualname__}:{v!r}".encode("utf-8")
 
 
 def complete_graph(n: int) -> Graph:

@@ -458,6 +458,37 @@ class InstanceSet:
         return InstanceSet.from_instances(self.h, kept)
 
     # ------------------------------------------------------------------
+    # stable content hashing (preprocess-cache artifacts)
+    # ------------------------------------------------------------------
+    def content_digest(self) -> str:
+        """Return a stable hex digest of the instance collection's content.
+
+        Two sets digest equally iff they have the same ``h`` and the same
+        multiset of instances over the same vertex labels — independent of
+        enumeration order, vertex interning order, and process hash seeds.
+        The preprocess cache uses it to verify that a deserialized artifact
+        decodes back to exactly what was stored.
+        """
+        import hashlib
+
+        from .graph.graph import _encode_vertex
+
+        digest = hashlib.sha256()
+        digest.update(f"repro-instances/1\x00h={self.h}".encode("ascii"))
+        h = self.h
+        flat = self._flat
+        encoded = [_encode_vertex(v) for v in self._vertex_of]
+        rows = []
+        for i in range(self.num_instances):
+            members = sorted(encoded[vid] for vid in flat[i * h : (i + 1) * h])
+            rows.append(b"\x00".join(members))
+        rows.sort()
+        for row in rows:
+            digest.update(b"\x01")
+            digest.update(row)
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
     # pickling (process-pool payloads)
     # ------------------------------------------------------------------
     def __getstate__(self) -> Tuple[int, List[Vertex], array]:

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.server``."""
+
+import sys
+
+from .app import main
+
+if __name__ == "__main__":
+    sys.exit(main())

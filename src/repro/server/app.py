@@ -1,0 +1,225 @@
+"""HTTP front end for the resident solve service.
+
+A thin :mod:`http.server` layer over :class:`~repro.server.service.SolveService`:
+
+====== =============== ====================================================
+Method Path            Meaning
+====== =============== ====================================================
+GET    ``/health``     liveness probe
+GET    ``/solvers``    registered solvers (name, metadata)
+GET    ``/executors``  registered execution backends
+GET    ``/kernels``    registered kernel backends
+GET    ``/datasets``   dataset abbreviations the ``dataset`` selector takes
+GET    ``/graphs``     registered graphs
+GET    ``/stats``      service counters + cache ledger summary
+POST   ``/graphs``     register a graph (``{"name", "dataset"|"edges"}``)
+POST   ``/solve``      run a solve (full ``SolveRequest`` surface)
+====== =============== ====================================================
+
+Every response is JSON.  Errors carry ``{"error": ...}`` with a 4xx status;
+internal failures return 500 without taking the server down.  The server is
+a ``ThreadingHTTPServer``: introspection endpoints answer concurrently while
+the service serializes the solves themselves (see
+:class:`~repro.server.service.SolveService`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Sequence, Tuple
+
+from .service import ServiceError, SolveService
+
+#: Default bind address (loopback: the service has no authentication).
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+#: Largest accepted request body (a graph upload), in bytes.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class SolveRequestHandler(BaseHTTPRequestHandler):
+    """Route HTTP requests into the owning server's :class:`SolveService`."""
+
+    server_version = "repro-lhcds/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SolveService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Route access logs to stderr only when the server asks for them."""
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError("request body must be a JSON object")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(f"request body exceeds {MAX_BODY_BYTES} bytes", 413)
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except ServiceError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_json(500, {"error": f"internal error: {exc}"})
+        else:
+            self._send_json(status, payload)
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        routes = {
+            "/health": lambda: (200, {"status": "ok"}),
+            "/solvers": lambda: (200, self.service.solvers()),
+            "/executors": lambda: (200, self.service.executors()),
+            "/kernels": lambda: (200, self.service.kernels()),
+            "/datasets": lambda: (200, self.service.datasets()),
+            "/graphs": lambda: (200, self.service.graphs()),
+            "/stats": lambda: (200, self.service.stats()),
+        }
+        handler = routes.get(self.path.rstrip("/") or "/health")
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        self._dispatch(handler)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.rstrip("/")
+        if path == "/solve":
+            self._dispatch(lambda: (200, self.service.solve(self._read_json_body())))
+        elif path == "/graphs":
+            self._dispatch(lambda: (201, self._register(self._read_json_body())))
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _register(self, payload: Any) -> Any:
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        known = {"name", "dataset", "edges", "vertices", "replace"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ServiceError(f"unknown request key(s): {', '.join(unknown)}")
+        return self.service.register_graph(
+            payload.get("name", ""),
+            dataset=payload.get("dataset"),
+            edges=payload.get("edges"),
+            vertices=payload.get("vertices"),
+            replace=bool(payload.get("replace", False)),
+        )
+
+
+def create_server(
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    *,
+    service: Optional[SolveService] = None,
+    cache_dir: Optional[str] = None,
+    verbose: bool = False,
+) -> Tuple[ThreadingHTTPServer, SolveService]:
+    """Build a bound (not yet serving) server plus its service.
+
+    ``port=0`` binds an ephemeral port (tests, the CI smoke leg); the bound
+    address is ``server.server_address``.  The caller owns both lifetimes:
+    ``server.shutdown()`` / ``server.server_close()`` and
+    ``service.close()``.
+    """
+    if service is None:
+        service = SolveService(cache_dir=cache_dir)
+    server = ThreadingHTTPServer((host, port), SolveRequestHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server, service
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="persistent LhCDS solve service with a warm preprocess cache",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST, help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="preprocess-cache directory (default: $REPRO_CACHE, then a "
+        "private temporary directory)",
+    )
+    parser.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="NAME=DATASET",
+        help="register a dataset graph at startup (repeatable)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Serve until interrupted (returns a process exit code)."""
+    args = _build_parser().parse_args(argv)
+    registrations = []
+    for item in args.register:
+        name, separator, dataset = item.partition("=")
+        if not separator or not name or not dataset:
+            print(f"error: --register needs NAME=DATASET, got {item!r}", file=sys.stderr)
+            return 2
+        registrations.append((name, dataset))
+    server, service = create_server(
+        args.host, args.port, cache_dir=args.cache_dir, verbose=args.verbose
+    )
+    try:
+        for name, dataset in registrations:
+            record = service.register_graph(name, dataset=dataset)
+            print(
+                f"registered {name!r} <- {dataset} "
+                f"({record['vertices']} vertices, {record['edges']} edges)",
+                file=sys.stderr,
+            )
+        host, port = server.server_address[:2]
+        print(
+            f"repro-lhcds server on http://{host}:{port} "
+            f"(cache: {service.cache_dir})",
+            file=sys.stderr,
+            flush=True,
+        )
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        server.server_close()
+        service.close()
+    return 0

@@ -1,0 +1,297 @@
+"""The resident solve service: named graphs + warm artifacts, no sockets.
+
+:class:`SolveService` is the HTTP-free core of ``python -m repro.server``:
+it owns the registry of named graphs, funnels every solve through the
+engine with a shared cache directory (so the preprocess artifacts stay
+warm in :mod:`repro.engine.cache`'s memory layer between requests), and
+keeps the counters the ``/stats`` endpoint reports.  Keeping it free of
+``http.server`` types makes the full solve surface testable in-process.
+
+Solves are serialized by an internal lock: warm artifacts are *shared*
+objects, and the instance-set scratch counters they contain are not safe
+under concurrent restriction.  Registration and read-only introspection
+stay concurrent.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..datasets.registry import dataset_abbreviations, get_spec, load_dataset
+from ..engine import (
+    SolveRequest,
+    available_executors,
+    available_solvers,
+    cache_for,
+    describe_executor,
+    get_solver,
+    solve,
+)
+from ..errors import ReproError
+from ..graph.graph import Graph
+from ..kernels import available_kernels, describe_kernel
+from ..patterns.clique import CliquePattern
+from ..patterns.registry import get_pattern
+
+
+class ServiceError(ReproError):
+    """A request the service cannot honour (maps to an HTTP 4xx)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+#: ``POST /solve`` keys forwarded verbatim into :class:`SolveRequest`.
+_REQUEST_FIELDS = (
+    "k",
+    "solver",
+    "jobs",
+    "executor",
+    "shards",
+    "queue_dir",
+    "verify_batch",
+    "verify_executor",
+    "verify_jobs",
+    "kernel",
+    "iterations",
+    "verification",
+    "prune",
+    "prune_stats",
+)
+
+#: Every key ``POST /solve`` understands.
+_SOLVE_KEYS = frozenset(_REQUEST_FIELDS) | {"graph", "dataset", "pattern", "h"}
+
+
+class SolveService:
+    """Named graphs plus a warm preprocess cache behind a solve API."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self._graphs: Dict[str, Graph] = {}
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._registry_lock = threading.Lock()
+        self._solve_lock = threading.Lock()
+        self._counters: Dict[str, int] = {"solves": 0, "errors": 0}
+        self._started = time.time()
+        if cache_dir is None:
+            # A private directory keeps the cache on (memory layer included)
+            # even when the operator did not ask for a persistent one.
+            self._tempdir: Optional[tempfile.TemporaryDirectory] = (
+                tempfile.TemporaryDirectory(prefix="repro-server-cache-")
+            )
+            cache_dir = self._tempdir.name
+        else:
+            self._tempdir = None
+            os.makedirs(cache_dir, exist_ok=True)
+        self.cache_dir = cache_dir
+
+    # ------------------------------------------------------------------
+    # graph registry
+    # ------------------------------------------------------------------
+    def register_graph(
+        self,
+        name: str,
+        *,
+        dataset: Optional[str] = None,
+        edges: Optional[List[List[Any]]] = None,
+        vertices: Optional[List[Any]] = None,
+        replace: bool = False,
+    ) -> Dict[str, Any]:
+        """Register a named graph from a dataset abbreviation or an edge list."""
+        if not name or not isinstance(name, str):
+            raise ServiceError("graph name must be a non-empty string")
+        if (dataset is None) == (edges is None and vertices is None):
+            raise ServiceError(
+                "register exactly one source: 'dataset', or 'edges'/'vertices'"
+            )
+        if dataset is not None:
+            try:
+                graph = load_dataset(dataset)
+                source = get_spec(dataset).name
+            except ReproError as exc:
+                raise ServiceError(str(exc)) from exc
+        else:
+            try:
+                graph = Graph(
+                    edges=[(u, v) for u, v in (edges or [])],
+                    vertices=vertices,
+                )
+            except (ReproError, TypeError, ValueError) as exc:
+                raise ServiceError(f"bad edge list: {exc}") from exc
+            source = "inline"
+        with self._registry_lock:
+            if name in self._graphs and not replace:
+                raise ServiceError(f"graph {name!r} is already registered", status=409)
+            self._graphs[name] = graph
+            self._records[name] = {
+                "name": name,
+                "source": source,
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "registered_at": time.time(),
+                "solves": 0,
+            }
+            return dict(self._records[name])
+
+    def graphs(self) -> List[Dict[str, Any]]:
+        """Registered graphs, sorted by name."""
+        with self._registry_lock:
+            return [dict(self._records[name]) for name in sorted(self._records)]
+
+    def _resolve_graph(self, payload: Dict[str, Any]) -> tuple:
+        name = payload.get("graph")
+        dataset = payload.get("dataset")
+        if (name is None) == (dataset is None):
+            raise ServiceError("name exactly one of 'graph' or 'dataset'")
+        if name is not None:
+            with self._registry_lock:
+                graph = self._graphs.get(name)
+            if graph is None:
+                raise ServiceError(f"unknown graph {name!r}", status=404)
+            return name, graph
+        # Dataset solves lazily register the graph under its abbreviation,
+        # so repeat queries stay warm exactly like registered graphs.
+        key = str(dataset)
+        with self._registry_lock:
+            graph = self._graphs.get(key)
+        if graph is None:
+            try:
+                self.register_graph(key, dataset=key, replace=True)
+            except ServiceError:
+                raise
+            with self._registry_lock:
+                graph = self._graphs[key]
+        return key, graph
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one solve described by a JSON payload; return the JSON report.
+
+        The payload carries the full :class:`SolveRequest` surface plus the
+        graph selector (``graph`` = registered name, or ``dataset``) and the
+        pattern selector (``pattern`` name, or ``h``).  The response embeds
+        the engine report plus a per-request preprocess-vs-solve timing
+        split and the cache verdict, so warm-path amortization is
+        observable per call.
+        """
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        unknown = sorted(set(payload) - _SOLVE_KEYS)
+        if unknown:
+            raise ServiceError(f"unknown request key(s): {', '.join(unknown)}")
+        name, graph = self._resolve_graph(payload)
+        if payload.get("pattern") is not None:
+            try:
+                pattern = get_pattern(str(payload["pattern"]))
+            except ReproError as exc:
+                raise ServiceError(str(exc)) from exc
+        else:
+            try:
+                pattern = CliquePattern(int(payload.get("h", 3)))
+            except (ReproError, TypeError, ValueError) as exc:
+                raise ServiceError(f"bad 'h': {exc}") from exc
+        options = {
+            field: payload[field] for field in _REQUEST_FIELDS if field in payload
+        }
+        try:
+            request = SolveRequest(
+                graph=graph, pattern=pattern, cache_dir=self.cache_dir, **options
+            )
+        except (ReproError, TypeError, ValueError) as exc:
+            raise ServiceError(f"bad solve request: {exc}") from exc
+        start = time.perf_counter()
+        with self._solve_lock:
+            try:
+                report = solve(request)
+            except ReproError as exc:
+                with self._registry_lock:
+                    self._counters["errors"] += 1
+                raise ServiceError(str(exc)) from exc
+        total_seconds = time.perf_counter() - start
+        with self._registry_lock:
+            self._counters["solves"] += 1
+            record = self._records.get(name)
+            if record is not None:
+                record["solves"] += 1
+        stats = report.preprocessing
+        return {
+            "graph": name,
+            **report.to_json_dict(),
+            "cache": {
+                "state": stats.cache_state,
+                "key": stats.cache_key,
+                "seconds": stats.cache_seconds,
+            },
+            "timing": {
+                "total_seconds": total_seconds,
+                "solve_seconds": report.solve_seconds,
+                # Everything before (and around) the component solves:
+                # cache lookup or cold pipeline, planning, merge.  On a
+                # warm hit this collapses to the artifact load time.
+                "preprocess_seconds": max(total_seconds - report.solve_seconds, 0),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def solvers(self) -> List[Dict[str, Any]]:
+        """Registered solvers with their scheduling metadata."""
+        rows = []
+        for name in available_solvers():
+            spec = get_solver(name)
+            rows.append(
+                {
+                    "name": name,
+                    "description": spec.description,
+                    "exact": spec.exact,
+                    "fixed_h": spec.fixed_h,
+                    "requires_k": spec.requires_k,
+                    "verify_fanout": spec.verify_fanout,
+                    "sharding": spec.sharding is not None,
+                }
+            )
+        return rows
+
+    def executors(self) -> List[Dict[str, Any]]:
+        """Registered execution backends."""
+        return [
+            {"name": name, "description": describe_executor(name)}
+            for name in available_executors()
+        ]
+
+    def kernels(self) -> List[Dict[str, Any]]:
+        """Registered kernel backends."""
+        return [
+            {"name": name, "description": describe_kernel(name)}
+            for name in available_kernels()
+        ]
+
+    def datasets(self) -> List[str]:
+        """Dataset abbreviations accepted by the ``dataset`` selector."""
+        return list(dataset_abbreviations())
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters plus the cache ledger summary."""
+        with self._registry_lock:
+            counters = dict(self._counters)
+            graphs = [dict(self._records[name]) for name in sorted(self._records)]
+        return {
+            "uptime_seconds": time.time() - self._started,
+            "counters": counters,
+            "graphs": graphs,
+            "cache": cache_for(self.cache_dir).summary(),
+        }
+
+    def close(self) -> None:
+        """Release the private cache directory (if the service owns one)."""
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None

@@ -1,0 +1,335 @@
+"""Tests for the persistent solve service: the HTTP-free ``SolveService``
+core (registry, solve surface, warm-path behaviour, error mapping) and the
+``http.server`` front end (routes, status codes, JSON envelopes).
+
+The acceptance criterion carried over from the cache tests: a served solve
+must be bit-identical to a cold in-process solve — same subgraphs, same
+verification counters, same preprocessing stats (wall-clock and cache
+fields excluded)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from helpers import multi_component_graph
+
+from repro.engine import solve
+from repro.server import ServiceError, SolveService, create_server
+from repro.server.app import main as server_main
+
+
+def _served_signature(payload):
+    """The bit-identical portion of a served (or to_json_dict) report."""
+    return {
+        "solver": payload["solver"],
+        "pattern": payload["pattern"],
+        "h": payload["h"],
+        "k": payload["k"],
+        "executor": payload["executor"],
+        "kernel": payload["kernel"],
+        "subgraphs": payload["subgraphs"],
+        "candidates_examined": payload["candidates_examined"],
+        "preprocessing": {
+            key: value
+            for key, value in payload["preprocessing"].items()
+            if not key.endswith("_seconds") and not key.startswith("cache_")
+        },
+    }
+
+
+def _edge_payload(graph):
+    return [[u, v] for u, v in graph.edges()]
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = SolveService(cache_dir=str(tmp_path / "cache"))
+    yield svc
+    svc.close()
+
+
+class TestRegistry:
+    def test_register_inline_graph(self, service):
+        record = service.register_graph("toy", edges=[[0, 1], [1, 2], [2, 0]])
+        assert record["name"] == "toy"
+        assert record["source"] == "inline"
+        assert record["vertices"] == 3
+        assert record["edges"] == 3
+        assert [g["name"] for g in service.graphs()] == ["toy"]
+
+    def test_register_dataset_graph(self, service):
+        abbreviation = service.datasets()[0]
+        record = service.register_graph("ds", dataset=abbreviation)
+        assert record["vertices"] > 0
+        assert record["source"] != "inline"
+
+    def test_duplicate_is_conflict_unless_replace(self, service):
+        service.register_graph("toy", edges=[[0, 1]])
+        with pytest.raises(ServiceError) as excinfo:
+            service.register_graph("toy", edges=[[1, 2]])
+        assert excinfo.value.status == 409
+        record = service.register_graph("toy", edges=[[1, 2], [2, 3]], replace=True)
+        assert record["edges"] == 2
+
+    def test_exactly_one_source(self, service):
+        with pytest.raises(ServiceError, match="exactly one source"):
+            service.register_graph("toy")
+        with pytest.raises(ServiceError, match="exactly one source"):
+            service.register_graph("toy", dataset="HA", edges=[[0, 1]])
+
+    def test_bad_names_and_datasets(self, service):
+        with pytest.raises(ServiceError, match="non-empty string"):
+            service.register_graph("", edges=[[0, 1]])
+        with pytest.raises(ServiceError):
+            service.register_graph("x", dataset="no-such-dataset")
+        with pytest.raises(ServiceError, match="bad edge list"):
+            service.register_graph("x", edges=[[0]])
+
+
+class TestSolveSurface:
+    def test_unknown_keys_rejected(self, service):
+        service.register_graph("toy", edges=[[0, 1], [1, 2], [2, 0]])
+        with pytest.raises(ServiceError, match="unknown request key"):
+            service.solve({"graph": "toy", "k": 1, "sovler": "exact"})
+
+    def test_graph_xor_dataset(self, service):
+        with pytest.raises(ServiceError, match="exactly one of"):
+            service.solve({"k": 1})
+        with pytest.raises(ServiceError, match="exactly one of"):
+            service.solve({"graph": "toy", "dataset": "HA", "k": 1})
+
+    def test_unknown_graph_is_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.solve({"graph": "nope", "k": 1})
+        assert excinfo.value.status == 404
+
+    def test_bad_request_options_are_400(self, service):
+        service.register_graph("toy", edges=[[0, 1], [1, 2], [2, 0]])
+        with pytest.raises(ServiceError, match="unknown solver"):
+            service.solve({"graph": "toy", "k": 1, "solver": "no-such-solver"})
+        with pytest.raises(ServiceError, match="executor"):
+            service.solve({"graph": "toy", "k": 1, "executor": "no-such-executor"})
+        with pytest.raises(ServiceError):
+            service.solve({"graph": "toy", "k": 1, "pattern": "no-such-pattern"})
+        with pytest.raises(ServiceError, match="bad 'h'"):
+            service.solve({"graph": "toy", "k": 1, "h": "three"})
+
+    def test_dataset_solve_lazily_registers(self, service):
+        abbreviation = service.datasets()[0]
+        response = service.solve({"dataset": abbreviation, "k": 2})
+        assert response["graph"] == abbreviation
+        assert [g["name"] for g in service.graphs()] == [abbreviation]
+        # The lazy registration is warm on the second call.
+        again = service.solve({"dataset": abbreviation, "k": 2})
+        assert again["cache"]["state"] in ("hit", "hit-memory")
+
+    def test_response_reports_cache_and_timing_split(self, service):
+        service.register_graph("toy", edges=_edge_payload(multi_component_graph()))
+        cold = service.solve({"graph": "toy", "k": 3})
+        assert cold["cache"]["state"] == "miss"
+        assert cold["cache"]["key"]
+        warm = service.solve({"graph": "toy", "k": 3})
+        assert warm["cache"]["state"] in ("hit", "hit-memory")
+        assert warm["cache"]["key"] == cold["cache"]["key"]
+        for response in (cold, warm):
+            timing = response["timing"]
+            assert timing["total_seconds"] >= timing["solve_seconds"]
+            assert timing["preprocess_seconds"] >= 0
+            assert timing["preprocess_seconds"] <= timing["total_seconds"]
+
+    @pytest.mark.parametrize(
+        "solver,h",
+        [("ippv", 3), ("exact", 3), ("greedy", 3), ("ldsflow", 2), ("ltds", 3)],
+    )
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_served_solve_identical_to_cold(self, service, solver, h, executor):
+        graph = multi_component_graph()
+        service.register_graph("toy", edges=_edge_payload(graph))
+        payload = {
+            "graph": "toy",
+            "h": h,
+            "k": 4,
+            "solver": solver,
+            "executor": executor,
+            "jobs": 2,
+        }
+        cold = solve(
+            graph=graph, pattern=h, k=4, solver=solver, executor=executor, jobs=2
+        )
+        reference = _served_signature(cold.to_json_dict())
+        first = service.solve(payload)
+        second = service.solve(payload)
+        assert first["cache"]["state"] == "miss"
+        assert second["cache"]["state"] in ("hit", "hit-memory")
+        assert _served_signature(first) == reference
+        assert _served_signature(second) == reference
+
+    def test_solves_serialized_but_correct_under_threads(self, service):
+        service.register_graph("toy", edges=_edge_payload(multi_component_graph()))
+        results = []
+
+        def worker():
+            results.append(service.solve({"graph": "toy", "k": 3}))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        signatures = {json.dumps(_served_signature(r), sort_keys=True) for r in results}
+        assert len(signatures) == 1
+        assert service.stats()["counters"]["solves"] == 4
+
+    def test_stats_counters_and_cache_summary(self, service):
+        service.register_graph("toy", edges=_edge_payload(multi_component_graph()))
+        service.solve({"graph": "toy", "k": 2})
+        service.solve({"graph": "toy", "k": 2})
+        stats = service.stats()
+        assert stats["counters"]["solves"] == 2
+        assert stats["counters"]["errors"] == 0
+        assert stats["graphs"][0]["solves"] == 2
+        assert stats["cache"]["num_entries"] == 1
+        assert stats["cache"]["counters"]["hits"] == 1
+        assert stats["uptime_seconds"] >= 0
+
+    def test_private_cache_dir_when_unconfigured(self):
+        service = SolveService()
+        try:
+            assert service.cache_dir
+            service.register_graph("toy", edges=[[0, 1], [1, 2], [2, 0]])
+            response = service.solve({"graph": "toy", "k": 1})
+            assert response["cache"]["state"] == "miss"
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+def _request(base, method, path, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def http_server(tmp_path):
+    server, service = create_server(port=0, cache_dir=str(tmp_path / "cache"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", service
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+class TestHTTPServer:
+    def test_health_and_introspection_routes(self, http_server):
+        base, _service = http_server
+        status, body = _request(base, "GET", "/health")
+        assert (status, body) == (200, {"status": "ok"})
+        status, solvers = _request(base, "GET", "/solvers")
+        assert status == 200
+        assert {"ippv", "exact", "greedy"} <= {s["name"] for s in solvers}
+        status, executors = _request(base, "GET", "/executors")
+        assert {"serial", "thread", "process", "queue"} <= {
+            e["name"] for e in executors
+        }
+        status, kernels = _request(base, "GET", "/kernels")
+        assert "stdlib" in {k["name"] for k in kernels}
+        status, datasets = _request(base, "GET", "/datasets")
+        assert status == 200 and datasets
+
+    def test_unknown_paths_are_404(self, http_server):
+        base, _service = http_server
+        assert _request(base, "GET", "/nope")[0] == 404
+        assert _request(base, "POST", "/nope", {})[0] == 404
+
+    def test_register_solve_round_trip(self, http_server):
+        base, _service = http_server
+        graph = multi_component_graph()
+        status, record = _request(
+            base, "POST", "/graphs", {"name": "toy", "edges": _edge_payload(graph)}
+        )
+        assert status == 201
+        assert record["vertices"] == graph.num_vertices
+
+        status, _body = _request(
+            base, "POST", "/graphs", {"name": "toy", "edges": [[0, 1]]}
+        )
+        assert status == 409
+
+        payload = {"graph": "toy", "k": 3, "solver": "ippv"}
+        status, first = _request(base, "POST", "/solve", payload)
+        assert status == 200
+        assert first["cache"]["state"] == "miss"
+        status, second = _request(base, "POST", "/solve", payload)
+        assert status == 200
+        assert second["cache"]["state"] in ("hit", "hit-memory")
+
+        cold = solve(graph=graph, pattern=3, k=3, solver="ippv")
+        reference = _served_signature(cold.to_json_dict())
+        assert _served_signature(first) == reference
+        assert _served_signature(second) == reference
+
+        status, graphs = _request(base, "GET", "/graphs")
+        assert graphs[0]["solves"] == 2
+        status, stats = _request(base, "GET", "/stats")
+        assert stats["counters"]["solves"] == 2
+        assert stats["cache"]["counters"]["hits"] == 1
+
+    def test_error_envelopes(self, http_server):
+        base, _service = http_server
+        status, body = _request(base, "POST", "/solve", {"graph": "nope", "k": 1})
+        assert status == 404 and "error" in body
+        status, body = _request(base, "POST", "/solve", {"k": 1})
+        assert status == 400 and "error" in body
+        status, body = _request(base, "POST", "/graphs", {"name": "x"})
+        assert status == 400 and "error" in body
+        status, body = _request(
+            base, "POST", "/graphs", {"name": "x", "edges": [[0, 1]], "bogus": 1}
+        )
+        assert status == 400 and "unknown request key" in body["error"]
+
+    def test_malformed_body_is_400(self, http_server):
+        base, _service = http_server
+        request = urllib.request.Request(
+            base + "/solve",
+            data=b"{ not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        # Empty body is rejected, not a crash.
+        request = urllib.request.Request(base + "/solve", data=b"", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+
+class TestServerMain:
+    def test_register_flag_needs_name_equals_dataset(self, capsys):
+        assert server_main(["--register", "bad-flag"]) == 2
+        assert "NAME=DATASET" in capsys.readouterr().err
+
+    def test_register_flag_unknown_dataset_fails_cleanly(self, capsys):
+        assert server_main(["--port", "0", "--register", "x=no-such-dataset"]) == 1
+        assert "error:" in capsys.readouterr().err
