@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""CI smoke test for the streaming (incremental) solve path.
+
+Boots ``python -m repro.server`` as a real subprocess on an ephemeral port,
+registers a synthetic multi-component graph through the versioned ``/v1/``
+API, then alternates ``POST /v1/graphs/{name}/deltas`` and
+``POST /v1/graphs/{name}/solve`` over a short delta stream and asserts:
+
+* every v1 response uses the uniform envelope (``ok``/``data`` on success,
+  ``ok``/``error`` with a machine code on failure),
+* after each delta, the incrementally served report is bit-identical to a
+  cold in-process solve of the same post-delta graph (transport, placement,
+  and wall-clock fields excluded — the :func:`json_report_signature`
+  contract),
+* the session actually reuses untouched components (the streaming path is
+  not a cold solve in disguise),
+* an unknown key is rejected with ``code == "unknown_key"`` and the
+  accepted-key list in the error detail.
+
+Usage::
+
+    PYTHONPATH=src python scripts/streaming_smoke.py
+
+Exits 0 on success, 1 on any assertion failure, with the server's stderr
+echoed for post-mortem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, SRC_DIR)
+
+from repro.datasets.synthetic import planted_communities_graph  # noqa: E402
+from repro.engine import SolveRequest, json_report_signature, solve  # noqa: E402
+from repro.graph import Graph, GraphDelta  # noqa: E402
+from repro.graph.graph import union_graph  # noqa: E402
+
+URL_RE = re.compile(r"http://([0-9.]+):(\d+)")
+STARTUP_TIMEOUT_S = 30
+
+H = 3
+K = 3
+GRAPH_NAME = "stream"
+
+#: Delta stream: each touches one component of the registered graph.
+DELTAS = [
+    {"add_vertices": [950], "add_edges": [[950, 0], [950, 1]]},
+    {"remove_vertices": [950]},
+    {"add_edges": [[1000, 2000]]},  # merges two components
+    {"remove_edges": [[1000, 2000]]},  # splits them again
+]
+
+
+def _request(base: str, method: str, path: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(base + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def _unwrap(status: int, body: dict):
+    """Assert the v1 success envelope and return its data payload."""
+    assert status in (200, 201), f"expected 2xx, got {status}: {body}"
+    assert body.get("ok") is True, f"expected ok envelope: {body}"
+    return body["data"]
+
+
+def _build_graph() -> Graph:
+    parts = []
+    offset = 0
+    for seed, sizes in ((61, [10, 8]), (62, [9, 7]), (63, [8, 6])):
+        g, _ = planted_communities_graph(
+            sizes, p_in=0.9, p_out=0.05, seed=seed, background=8
+        )
+        parts.append(
+            Graph(
+                vertices=[v + offset for v in g.vertices()],
+                edges=[(u + offset, v + offset) for u, v in g.edges()],
+            )
+        )
+        offset += 1000
+    return union_graph(*parts)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0"],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    base = None
+    try:
+        deadline = time.time() + STARTUP_TIMEOUT_S
+        banner = ""
+        while time.time() < deadline:
+            line = process.stderr.readline()
+            if not line:
+                time.sleep(0.05)
+                continue
+            banner += line
+            match = URL_RE.search(line)
+            if match:
+                base = f"http://{match.group(1)}:{match.group(2)}"
+                break
+        if base is None:
+            print(f"FAIL: server never announced its address\n{banner}")
+            return 1
+        print(f"server up at {base}")
+
+        health = _unwrap(*_request(base, "GET", "/v1/health"))
+        assert health == {"status": "ok"}, health
+
+        graph = _build_graph()
+        record = _unwrap(
+            *_request(
+                base,
+                "POST",
+                "/v1/graphs",
+                {"name": GRAPH_NAME, "edges": [[u, v] for u, v in graph.edges()]},
+            )
+        )
+        print(f"registered: {record['vertices']} vertices, {record['edges']} edges")
+
+        payload = {"h": H, "k": K, "solver": "ippv"}
+        solve_path = f"/v1/graphs/{GRAPH_NAME}/solve"
+        _unwrap(*_request(base, "POST", solve_path, payload))  # warm the session
+
+        # Mirror exactly what the server holds: registration was edges-only,
+        # so isolated vertices in the local build are not part of the graph.
+        mirror = Graph(edges=list(graph.edges()))
+        for index, delta_json in enumerate(DELTAS):
+            applied = _unwrap(
+                *_request(base, "POST", f"/v1/graphs/{GRAPH_NAME}/deltas", delta_json)
+            )
+            assert applied["epoch"] == index + 1, applied
+            mirror.apply_delta(GraphDelta.from_json_dict(delta_json))
+            state = applied["graph_state"]
+            assert state["vertices"] == mirror.num_vertices, (state, index)
+            assert state["edges"] == mirror.num_edges, (state, index)
+
+            served = _unwrap(*_request(base, "POST", solve_path, payload))
+            incremental = served["incremental"]
+            cold = solve(SolveRequest(graph=mirror.copy(), pattern=H, k=K, solver="ippv"))
+            if json_report_signature(served) != json_report_signature(cold.to_json_dict()):
+                print(f"FAIL: delta {index}: served result differs from cold solve")
+                print(json.dumps(served, indent=2, default=str))
+                return 1
+            if incremental["components_reused"] < 1:
+                print(f"FAIL: delta {index}: no component reuse: {incremental}")
+                return 1
+            print(
+                f"delta {index}: epoch={applied['epoch']} "
+                f"reused={incremental['components_reused']}/"
+                f"{incremental['components_total']} bit-identical to cold"
+            )
+
+        status, body = _request(base, "POST", solve_path, {"h": H, "bogus": 1})
+        assert status == 400 and body.get("ok") is False, body
+        error = body["error"]
+        assert error["code"] == "unknown_key", error
+        assert "bogus" in error["detail"]["unknown"], error
+        assert "solver" in error["detail"]["accepted"], error
+
+        stats = _unwrap(*_request(base, "GET", "/v1/stats"))
+        counters = stats["counters"]
+        if counters["deltas"] != len(DELTAS):
+            print(f"FAIL: expected {len(DELTAS)} deltas, stats say {counters}")
+            return 1
+
+        print(
+            f"OK: {len(DELTAS)} deltas streamed, every warm solve bit-identical "
+            f"to cold, counters={counters}"
+        )
+        return 0
+    except (AssertionError, urllib.error.URLError, OSError) as exc:
+        print(f"FAIL: {type(exc).__name__}: {exc}")
+        return 1
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,21 +46,25 @@ Reproduce one of the paper's tables or figures::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 from typing import Optional, Sequence
 
 from .datasets.registry import dataset_abbreviations, dataset_statistics, get_spec, load_dataset
 from .engine import (
+    IncrementalSession,
     SolveRequest,
     available_executors,
     available_solvers,
     cache_for,
     describe_executor,
     get_solver,
+    report_signature,
     resolve_cache_dir,
     solve,
 )
+from .graph.delta import GraphDelta
 from .engine.executors.filequeue import spawn_worker, worker_loop
 from .engine.worker import DEFAULT_POLL_SECONDS
 from .errors import ReproError
@@ -152,6 +156,84 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which verification algorithm to use",
     )
     topk.add_argument("--iterations", type=int, default=20, help="Frank-Wolfe iterations T")
+
+    deltas = sub.add_parser(
+        "deltas",
+        help="replay a graph-delta stream through a warm incremental session",
+    )
+    delta_source = deltas.add_mutually_exclusive_group(required=True)
+    delta_source.add_argument(
+        "--dataset", help="name or abbreviation of a registry dataset"
+    )
+    delta_source.add_argument(
+        "--edge-list", help="path to a whitespace-separated edge list"
+    )
+    deltas.add_argument(
+        "--deltas",
+        required=True,
+        metavar="FILE",
+        dest="delta_file",
+        help="JSONL delta stream: one JSON object per line with any of "
+        "add_vertices / remove_vertices / add_edges / remove_edges "
+        "(blank lines and #-comments are skipped)",
+    )
+    deltas.add_argument("--h", type=int, default=3, help="clique size (default 3)")
+    deltas.add_argument(
+        "--pattern",
+        help="pattern name (e.g. 2-triangle, 4-loop); overrides --h",
+    )
+    deltas.add_argument(
+        "--k", type=int, default=5, help="number of subgraphs (default 5)"
+    )
+    deltas.add_argument(
+        "--solver",
+        choices=available_solvers(),
+        default="ippv",
+        help="which registered solver to run (default ippv)",
+    )
+    deltas.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="workers for component-parallel solving (0 = one per CPU)",
+    )
+    deltas.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default=None,
+        help="execution backend (output is bit-identical on every backend)",
+    )
+    deltas.add_argument(
+        "--kernel",
+        choices=available_kernels(),
+        default=None,
+        help="compute kernel backend (output is bit-identical on every kernel)",
+    )
+    deltas.add_argument(
+        "--iterations", type=int, default=20, help="Frank-Wolfe iterations T"
+    )
+    deltas.add_argument(
+        "--verification",
+        choices=["fast", "basic"],
+        default="fast",
+        help="which verification algorithm to use",
+    )
+    deltas.add_argument(
+        "--solve-each",
+        action="store_true",
+        help="solve after every delta (default: only after the last)",
+    )
+    deltas.add_argument(
+        "--cold",
+        action="store_true",
+        help="additionally cold-solve the final graph and verify the "
+        "incremental report is bit-identical (exit 1 on mismatch)",
+    )
+    deltas.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
 
     sub.add_parser("datasets", help="list the registered stand-in datasets")
     sub.add_parser("solvers", help="list the registered solvers")
@@ -310,6 +392,147 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_delta_stream(path: str) -> list:
+    """Parse a JSONL delta stream (blank lines and ``#`` comments skipped)."""
+    deltas = []
+    try:
+        handle = open(path, encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read delta stream {path!r}: {exc}") from exc
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                payload = json.loads(text)
+            except ValueError as exc:
+                raise ReproError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            try:
+                deltas.append(GraphDelta.from_json_dict(payload))
+            except ReproError as exc:
+                raise ReproError(f"{path}:{lineno}: {exc}") from exc
+    return deltas
+
+
+def _cmd_deltas(args: argparse.Namespace) -> int:
+    """Replay a delta stream through one warm session; optionally cold-check."""
+    if args.dataset:
+        graph = load_dataset(args.dataset)
+        label = get_spec(args.dataset).name
+    else:
+        graph = read_edge_list(args.edge_list)
+        label = args.edge_list
+    pattern = get_pattern(args.pattern) if args.pattern else CliquePattern(args.h)
+    stream = _read_delta_stream(args.delta_file)
+    options = dict(
+        k=args.k,
+        solver=args.solver,
+        jobs=args.jobs,
+        executor=args.executor,
+        kernel=args.kernel,
+        iterations=args.iterations,
+        verification=args.verification,
+    )
+
+    session = IncrementalSession(graph, pattern, kernel=args.kernel)
+    if not args.json:
+        print(
+            f"# replaying {len(stream)} delta(s) from {args.delta_file} over "
+            f"{label} ({graph.num_vertices} vertices, {graph.num_edges} edges, "
+            f"pattern {pattern.name}, solver {args.solver})"
+        )
+    delta_rows = []
+    for number, delta in enumerate(stream, start=1):
+        stats = session.apply_delta(delta)
+        row = {"delta": number, **stats.as_dict()}
+        if args.solve_each:
+            solve_report = session.solve(**options)
+            solve_stats = session.last_solve_stats
+            row["solve"] = solve_stats.as_dict() if solve_stats else {}
+            row["top_density"] = (
+                str(solve_report.subgraphs[0].density)
+                if solve_report.subgraphs
+                else None
+            )
+        delta_rows.append(row)
+        if not args.json:
+            line = (
+                f"delta {number}: +{stats.vertices_added}v -{stats.vertices_removed}v "
+                f"+{stats.edges_added}e -{stats.edges_removed}e | "
+                f"touched {stats.touched_vertices} | components: "
+                f"{stats.components_reenumerated} rebuilt, "
+                f"{stats.components_reused} reused | instances: "
+                f"{stats.instances_dropped} dropped, "
+                f"{stats.instances_reenumerated} re-enumerated"
+            )
+            if args.solve_each and row.get("top_density") is not None:
+                line += f" | top density {row['top_density']}"
+            print(line)
+
+    report = session.solve(**options)
+    final_stats = session.last_solve_stats
+    cold_check = None
+    if args.cold:
+        cold_report = solve(
+            SolveRequest(graph=session.graph.copy(), pattern=pattern, **options)
+        )
+        warm_signature = report_signature(report)
+        cold_check = {
+            "match": warm_signature == report_signature(cold_report),
+            "signature_sha256": hashlib.sha256(
+                warm_signature.encode("utf-8")
+            ).hexdigest(),
+        }
+
+    if args.json:
+        payload = {
+            "source": label,
+            "deltas_file": args.delta_file,
+            "deltas": delta_rows,
+            "graph": {
+                "vertices": session.graph.num_vertices,
+                "edges": session.graph.num_edges,
+            },
+            **report.to_json_dict(),
+            "incremental": final_stats.as_dict() if final_stats else {},
+        }
+        if cold_check is not None:
+            payload["cold_check"] = cold_check
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(
+            f"# final top-{args.k} {report.pattern_name} densest subgraphs "
+            f"({session.graph.num_vertices} vertices, "
+            f"{session.graph.num_edges} edges after {session.epoch} delta(s))"
+        )
+        for rank, subgraph in enumerate(report.subgraphs, start=1):
+            members = ", ".join(str(v) for v in subgraph.as_sorted_list())
+            print(
+                f"{rank}. density={float(subgraph.density):.4f} "
+                f"size={subgraph.size} vertices=[{members}]"
+            )
+        if final_stats is not None:
+            print(
+                f"# session: {final_stats.components_reused} component result(s) "
+                f"reused, {final_stats.components_solved} solved"
+            )
+        if cold_check is not None:
+            verdict = "MATCH" if cold_check["match"] else "MISMATCH"
+            print(
+                f"# cold check: {verdict} "
+                f"(signature sha256 {cold_check['signature_sha256'][:16]}…)"
+            )
+    if cold_check is not None and not cold_check["match"]:
+        print(
+            "error: incremental report differs from a cold solve of the "
+            "final graph",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_datasets() -> int:
     print(f"{'abbr':6} {'name':22} {'|V|':>6} {'|E|':>7} {'|Psi3|':>8}")
     for abbr in dataset_abbreviations():
@@ -458,6 +681,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "topk":
             return _cmd_topk(args)
+        if args.command == "deltas":
+            return _cmd_deltas(args)
         if args.command == "datasets":
             return _cmd_datasets()
         if args.command == "solvers":

@@ -30,6 +30,13 @@ from .executors import (
     register_executor,
 )
 from .cache import PreprocessCache, cache_for, cache_key, resolve_cache_dir
+from .incremental import (
+    DeltaStats,
+    IncrementalSession,
+    IncrementalSolveStats,
+    json_report_signature,
+    report_signature,
+)
 from .preprocess import cold_preprocess, preprocess
 from .request import (
     PreparedComponent,
@@ -38,7 +45,7 @@ from .request import (
     SolveRequest,
     merge_key,
 )
-from .runtime import solve
+from .runtime import prepare_request, solve, solve_prepared
 from .sharding import ShardHooks
 from .solvers import (
     SolverSpec,
@@ -59,8 +66,15 @@ __all__ = [
     "PreprocessStats",
     "SolveReport",
     "SolveRequest",
+    "DeltaStats",
+    "IncrementalSession",
+    "IncrementalSolveStats",
+    "json_report_signature",
+    "report_signature",
     "merge_key",
+    "prepare_request",
     "solve",
+    "solve_prepared",
     "SolverSpec",
     "ShardHooks",
     "available_solvers",

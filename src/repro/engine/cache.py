@@ -62,8 +62,9 @@ from ..graph.graph import Graph
 from ..patterns.base import Pattern
 from .request import PreparedComponent, PreprocessStats
 
-#: On-disk artifact schema tag; bumped when the pickled layout changes.
-ARTIFACT_SCHEMA = "repro-cache/1"
+#: On-disk artifact schema tag; bumped when the pickled layout changes
+#: (``/2``: Graph grew delta-epoch state and an explicit pickle protocol).
+ARTIFACT_SCHEMA = "repro-cache/2"
 #: Ledger (``index.json``) schema tag.
 INDEX_SCHEMA = "repro-cache-index/1"
 

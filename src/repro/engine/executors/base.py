@@ -46,6 +46,7 @@ KIND_SHARD_SETUP = "shard-setup"
 KIND_SHARD_SOLVE = "shard-solve"
 KIND_VERIFY = "verify"
 KIND_PROBE = "probe"
+KIND_CACHED = "cached-result"
 
 
 @dataclass
@@ -60,7 +61,12 @@ class EngineTask:
       :class:`~repro.lhcds.verify.VerificationTask` from the IPPV
       verification fan-out;
     * ``probe`` — a plain dict, used by the test suite and queue smoke
-      checks (see :func:`_run_probe`).
+      checks (see :func:`_run_probe`);
+    * ``cached-result`` — ``(result,)``, a precomputed per-component
+      :class:`~repro.lhcds.ippv.LhCDSResult` injected by the incremental
+      session.  Executing it just returns the payload, so every backend —
+      including the serial early stop, which sees the same densities in the
+      same order — makes byte-identical decisions to a cold run.
     """
 
     id: str
@@ -179,6 +185,9 @@ def execute_task(task: EngineTask) -> Any:
     if task.kind == KIND_VERIFY:
         (verification_task,) = task.payload
         return verification_task.run()
+    if task.kind == KIND_CACHED:
+        (result,) = task.payload
+        return result
     spec = get_solver(task.solver)
     if task.kind == KIND_SOLVE:
         component, request = task.payload

@@ -54,9 +54,15 @@ from .executors import (
     available_executors,
     get_executor,
 )
-from .executors.base import KIND_SHARD_SETUP, KIND_SHARD_SOLVE, KIND_SOLVE
+from .executors.base import KIND_CACHED, KIND_SHARD_SETUP, KIND_SHARD_SOLVE, KIND_SOLVE
 from .preprocess import preprocess
-from .request import PreparedComponent, SolveReport, SolveRequest, merge_key
+from .request import (
+    PreparedComponent,
+    PreprocessStats,
+    SolveReport,
+    SolveRequest,
+    merge_key,
+)
 from .sharding import dominant_position
 from .solvers import SolverSpec, get_solver
 
@@ -233,11 +239,20 @@ def _run_batch(
         return get_executor("serial").run(serial_batch), "serial", reason
 
 
-def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
-    """Solve a request through the registered solver and merge the results.
+def prepare_request(
+    request: Optional[SolveRequest] = None, **options
+) -> Tuple[SolveRequest, SolverSpec]:
+    """Normalise a request: build/replace, validate, and pin the kernel.
 
-    Accepts either a prebuilt :class:`SolveRequest` or its keyword arguments
-    (``solve(graph=g, pattern=3, k=5, solver="exact")``).
+    Accepts either a prebuilt :class:`SolveRequest` or its keyword
+    arguments.  The kernel backend is resolved once (explicit request, then
+    ``REPRO_KERNEL``, then the stdlib default — same model as the executor)
+    and the concrete name pinned on the request: component tasks shipped to
+    process or queue workers then compute on this kernel regardless of the
+    worker's own environment.  Every backend is bit-identical, so this only
+    keeps the report honest about what ran.  Idempotent, and shared by
+    :func:`solve` and the incremental session (which must pin the kernel
+    *before* its own enumeration).
     """
     if request is None:
         request = SolveRequest(**options)
@@ -247,17 +262,19 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
         raise EngineError("cannot solve an empty graph")
     spec = get_solver(request.solver)
     spec.validate(request)
-
-    # Resolve the kernel backend once (explicit request, then REPRO_KERNEL,
-    # then the stdlib default — same model as the executor) and pin the
-    # concrete name on the request: component tasks shipped to process or
-    # queue workers then compute on this kernel regardless of the worker's
-    # own environment.  Every backend is bit-identical, so this only keeps
-    # the report honest about what ran.
     kernel_used = resolve_kernel(request.kernel).name
     if request.kernel != kernel_used:
         request = dataclasses.replace(request, kernel=kernel_used)
+    return request, spec
 
+
+def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
+    """Solve a request through the registered solver and merge the results.
+
+    Accepts either a prebuilt :class:`SolveRequest` or its keyword arguments
+    (``solve(graph=g, pattern=3, k=5, solver="exact")``).
+    """
+    request, spec = prepare_request(request, **options)
     start = time.perf_counter()
     components, stats = preprocess(
         request,
@@ -267,11 +284,47 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
         # pruning (IPPV).  Approximate solvers like Greedy skip it.
         compute_bounds=spec.exact or spec.internal_prune,
     )
+    return solve_prepared(request, components, stats, start=start)
+
+
+def solve_prepared(
+    request: SolveRequest,
+    components: List[PreparedComponent],
+    stats: PreprocessStats,
+    *,
+    result_cache=None,
+    start: Optional[float] = None,
+) -> SolveReport:
+    """Execute and merge over already-prepared components.
+
+    This is the back half of :func:`solve` — everything after
+    preprocessing — exposed so callers that maintain their own prepared
+    state (the incremental session) run the exact same selection, planning,
+    execution, and merge code as a cold solve.
+
+    ``result_cache``, when given, must provide ``get(component)`` returning
+    a cached per-component :class:`LhCDSResult` (or ``None``) and
+    ``put(component, result)``.  Cached components are injected as
+    ``cached-result`` tasks into the normal batch, so every executor —
+    including the serial early stop — makes byte-identical decisions to a
+    cold run; newly solved components are recorded back into the cache.
+    """
+    request, spec = prepare_request(request)
+    if start is None:
+        start = time.perf_counter()
     components, skipped = _select_components(components, spec, request.k)
     stats.num_skipped_components = skipped
 
     jobs = request.jobs if request.jobs > 0 else (os.cpu_count() or 1)
     plan = _plan_sharding(spec, components, request, jobs)
+    # The dynamic early stop needs homogeneous, cap-ordered solve tasks;
+    # the sharded path mixes in setup/shard tasks, so it solves everything
+    # (like the parallel backends) and lets the merge discard the excess.
+    # Decided on the *cold* plan — before any cache substitution — so the
+    # early-stop statistics cannot depend on cache state.
+    early_stop_k = (
+        request.k if (spec.exact and request.k is not None and plan is None) else None
+    )
     fanout_requested = spec.verify_fanout and request.verify_batch != 1 and (
         request.verify_batch >= 2 or jobs > 1 or request.verify_jobs > 1
     )
@@ -284,12 +337,32 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
     )
     verify_plan = _plan_verify_fanout(spec, components, request, jobs, executor_name)
 
+    cached_results: List[Optional[LhCDSResult]] = [
+        result_cache.get(comp) if result_cache is not None else None
+        for comp in components
+    ]
+    if plan is not None and cached_results[plan.position] is not None:
+        # The dominant component is served from cache; nothing to shard.
+        plan = None
+
     # ------------------------------------------------------------------
     # round 1: one task per component (the sharded component contributes
     # its setup stage); round 2 fans the shard sub-tasks out.
     # ------------------------------------------------------------------
     tasks: List[EngineTask] = []
     for index, comp in enumerate(components):
+        cached = cached_results[index]
+        if cached is not None:
+            tasks.append(
+                EngineTask(
+                    id=f"cached-c{comp.index}",
+                    kind=KIND_CACHED,
+                    solver=spec.name,
+                    payload=(cached,),
+                    upper_bound=comp.upper_bound,
+                )
+            )
+            continue
         scoped = request.for_component(comp.subgraph)
         if verify_plan is not None and index in verify_plan.positions:
             scoped = dataclasses.replace(
@@ -317,12 +390,6 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
                     upper_bound=comp.upper_bound,
                 )
             )
-    # The dynamic early stop needs homogeneous, cap-ordered solve tasks;
-    # the sharded path mixes in setup/shard tasks, so it solves everything
-    # (like the parallel backends) and lets the merge discard the excess.
-    early_stop_k = (
-        request.k if (spec.exact and request.k is not None and plan is None) else None
-    )
 
     tick = time.perf_counter()
     jobs_used = 1
@@ -374,6 +441,12 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
             comp, scoped, setup_result, shard_outcome.results
         )
 
+    if result_cache is not None:
+        for position, comp in enumerate(components):
+            result = task_results[position]
+            if cached_results[position] is None and result is not None:
+                result_cache.put(comp, result)
+
     results: List[LhCDSResult] = [r for r in task_results if r is not None]
     solve_seconds = time.perf_counter() - tick
 
@@ -421,7 +494,7 @@ def solve(request: Optional[SolveRequest] = None, **options) -> SolveReport:
         fallback_reason=fallback_reason,
         shards_used=shards_used,
         verify_batch_used=verify_plan.window if verify_plan is not None else 0,
-        kernel=kernel_used,
+        kernel=request.kernel,
         preprocessing=stats,
         solve_seconds=solve_seconds,
     )

@@ -3,12 +3,14 @@
 from .components import (
     bfs_order,
     component_of,
+    components_touching,
     connected_components,
     diameter,
     eccentricity,
     is_connected,
     shortest_path_lengths,
 )
+from .delta import GraphDelta
 from .graph import (
     Graph,
     complete_graph,
@@ -30,6 +32,7 @@ from .ordering import core_decomposition, degeneracy, degeneracy_ordering, k_cor
 
 __all__ = [
     "Graph",
+    "GraphDelta",
     "complete_graph",
     "cycle_graph",
     "path_graph",
@@ -37,6 +40,7 @@ __all__ = [
     "union_graph",
     "bfs_order",
     "component_of",
+    "components_touching",
     "connected_components",
     "diameter",
     "eccentricity",

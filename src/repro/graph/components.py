@@ -43,6 +43,23 @@ def connected_components(graph: Graph) -> List[Set[Vertex]]:
     return components
 
 
+def components_touching(
+    components: Iterable[Set[Vertex]], vertices: Iterable[Vertex]
+) -> List[int]:
+    """Return indices of the components that contain any of ``vertices``.
+
+    The incremental engine uses this to find which cached components a
+    delta's touched-vertex frontier invalidates.  Indices are returned in
+    component order (ascending), each at most once.
+    """
+    targets = set(vertices)
+    touched: List[int] = []
+    for index, comp in enumerate(components):
+        if comp & targets:
+            touched.append(index)
+    return touched
+
+
 def is_connected(graph: Graph) -> bool:
     """Return ``True`` for a connected, non-empty graph."""
     if graph.num_vertices == 0:

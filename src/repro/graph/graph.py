@@ -17,9 +17,22 @@ setting of simple undirected graphs.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Set,
+    Tuple,
+)
 
 from ..errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .delta import GraphDelta
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
@@ -38,7 +51,7 @@ class Graph:
         edge (isolated vertices participate in density denominators).
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_epoch", "_content_key")
 
     def __init__(
         self,
@@ -46,6 +59,8 @@ class Graph:
         vertices: Iterable[Vertex] | None = None,
     ) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._epoch: int = 0
+        self._content_key: str | None = None
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -56,10 +71,16 @@ class Graph:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _mutated(self) -> None:
+        """Record a structural change: bump the epoch, drop the key memo."""
+        self._epoch += 1
+        self._content_key = None
+
     def add_vertex(self, v: Vertex) -> None:
         """Add an isolated vertex (no-op if already present)."""
         if v not in self._adj:
             self._adj[v] = set()
+            self._mutated()
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``{u, v}``; self-loops are ignored."""
@@ -67,8 +88,10 @@ class Graph:
             return
         self.add_vertex(u)
         self.add_vertex(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._mutated()
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and all its incident edges.
@@ -83,6 +106,7 @@ class Graph:
         for u in self._adj[v]:
             self._adj[u].discard(v)
         del self._adj[v]
+        self._mutated()
 
     def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
         """Remove several vertices (ignoring ones already absent)."""
@@ -92,16 +116,53 @@ class Graph:
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``{u, v}`` if present."""
-        if u in self._adj:
+        if u in self._adj and v in self._adj[u]:
             self._adj[u].discard(v)
-        if v in self._adj:
             self._adj[v].discard(u)
+            self._mutated()
+
+    def apply_delta(self, delta: "GraphDelta") -> None:
+        """Apply a validated :class:`~repro.graph.delta.GraphDelta` in place.
+
+        The delta is first checked against the current graph state
+        (:meth:`GraphDelta.validate_against`); on any precondition failure
+        the graph is left untouched.  Application order is fixed — vertex
+        adds, edge adds, edge removes, vertex removes — so the result is a
+        pure function of ``(graph, delta)``.
+        """
+        delta.validate_against(self)
+        for v in delta.add_vertices:
+            self.add_vertex(v)
+        for u, v in delta.add_edges:
+            self.add_edge(u, v)
+        for u, v in delta.remove_edges:
+            self.remove_edge(u, v)
+        self.remove_vertices(delta.remove_vertices)
+
+    @property
+    def delta_epoch(self) -> int:
+        """Monotone counter bumped by every structural mutation.
+
+        Lets long-lived holders (sessions, caches) detect that a shared
+        graph object changed underneath them without hashing its content.
+        """
+        return self._epoch
 
     def copy(self) -> "Graph":
         """Return a deep copy of the graph."""
         g = Graph()
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._epoch = self._epoch
+        g._content_key = self._content_key
         return g
+
+    def __getstate__(self) -> Dict[Vertex, Set[Vertex]]:
+        return self._adj
+
+    def __setstate__(self, state: Dict[Vertex, Set[Vertex]]) -> None:
+        self._adj = state
+        self._epoch = 0
+        self._content_key = None
 
     # ------------------------------------------------------------------
     # queries
@@ -201,8 +262,11 @@ class Graph:
         are encoded by type and ``repr`` and sorted, so reloading the same
         edge list (or any label-preserving round-trip) reproduces the key.
         The digest is the graph half of the preprocess-cache key (see
-        :mod:`repro.engine.cache`).
+        :mod:`repro.engine.cache`).  It is memoised and invalidated by any
+        mutation, so post-delta solves always key on post-delta content.
         """
+        if self._content_key is not None:
+            return self._content_key
         encoded = {v: _encode_vertex(v) for v in self._adj}
         digest = hashlib.sha256()
         digest.update(b"repro-graph/1\x00")
@@ -222,7 +286,8 @@ class Graph:
         for token in edge_tokens:
             digest.update(b"e\x00")
             digest.update(token)
-        return digest.hexdigest()
+        self._content_key = digest.hexdigest()
+        return self._content_key
 
     def relabelled(self) -> Tuple["Graph", Dict[Vertex, int], List[Vertex]]:
         """Return a copy with vertices relabelled to ``0..n-1``.

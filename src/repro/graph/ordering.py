@@ -23,8 +23,23 @@ def degeneracy_ordering(graph: Graph) -> Tuple[List[Vertex], Dict[Vertex, int], 
     The ordering has the property that each vertex has at most *degeneracy*
     neighbours appearing later in the order, which bounds the branching of
     the clique enumerator.
+
+    Ties (equal remaining degree) are broken by heap insertion counters, and
+    every counter assignment walks vertices in the graph's *insertion order*
+    — the initial heap fill directly, and each removal's neighbour updates
+    through a canonically sorted adjacency.  That makes the ordering a pure
+    function of the graph's structure and construction history, never of
+    per-process set layout; in particular, the order restricted to one
+    connected component is identical whether the ordering is computed on the
+    full graph or on that component's induced subgraph (non-component events
+    interleave without reordering a component's own heap entries).  The
+    incremental engine's artifact reuse rests on this purity.
     """
     degrees: Dict[Vertex, int] = {v: graph.degree(v) for v in graph}
+    index_of: Dict[Vertex, int] = {v: i for i, v in enumerate(graph)}
+    neighbour_order: Dict[Vertex, List[Vertex]] = {
+        v: sorted(graph.neighbors(v), key=index_of.__getitem__) for v in graph
+    }
     # A lazy-deletion heap keyed by current degree keeps the loop O(m log n).
     heap: List[Tuple[int, int, Vertex]] = []
     counter = 0
@@ -43,7 +58,7 @@ def degeneracy_ordering(graph: Graph) -> Tuple[List[Vertex], Dict[Vertex, int], 
         removed[v] = True
         degeneracy = max(degeneracy, d)
         order.append(v)
-        for u in graph.neighbors(v):
+        for u in neighbour_order[v]:
             if not removed[u]:
                 degrees[u] -= 1
                 counter += 1

@@ -1,26 +1,40 @@
-"""HTTP front end for the resident solve service.
+"""HTTP front end for the resident solve service (versioned ``/v1`` API).
 
 A thin :mod:`http.server` layer over :class:`~repro.server.service.SolveService`:
 
-====== =============== ====================================================
-Method Path            Meaning
-====== =============== ====================================================
-GET    ``/health``     liveness probe
-GET    ``/solvers``    registered solvers (name, metadata)
-GET    ``/executors``  registered execution backends
-GET    ``/kernels``    registered kernel backends
-GET    ``/datasets``   dataset abbreviations the ``dataset`` selector takes
-GET    ``/graphs``     registered graphs
-GET    ``/stats``      service counters + cache ledger summary
-POST   ``/graphs``     register a graph (``{"name", "dataset"|"edges"}``)
-POST   ``/solve``      run a solve (full ``SolveRequest`` surface)
-====== =============== ====================================================
+====== ============================== =======================================
+Method Path                           Meaning
+====== ============================== =======================================
+GET    ``/v1/health``                 liveness probe
+GET    ``/v1/spec``                   machine-readable API description
+GET    ``/v1/solvers``                registered solvers (name, metadata)
+GET    ``/v1/executors``              registered execution backends
+GET    ``/v1/kernels``                registered kernel backends
+GET    ``/v1/datasets``               dataset abbreviations
+GET    ``/v1/graphs``                 registered graphs
+GET    ``/v1/stats``                  service counters + cache summary
+POST   ``/v1/graphs``                 register a graph
+POST   ``/v1/solve``                  run a solve (full request surface)
+POST   ``/v1/graphs/{name}/deltas``   apply a :class:`GraphDelta` to a graph
+POST   ``/v1/graphs/{name}/solve``    solve via the warm incremental session
+====== ============================== =======================================
 
-Every response is JSON.  Errors carry ``{"error": ...}`` with a 4xx status;
-internal failures return 500 without taking the server down.  The server is
-a ``ThreadingHTTPServer``: introspection endpoints answer concurrently while
-the service serializes the solves themselves (see
-:class:`~repro.server.service.SolveService`).
+Every ``/v1`` response is JSON in a uniform envelope: ``{"ok": true,
+"data": ...}`` on success, ``{"ok": false, "error": {"code", "message",
+"detail"}}`` on failure (4xx for client errors, 500 for internal failures
+— which never take the server down).  The accepted body keys for each
+POST route are served by ``GET /v1/spec`` and enumerated in the error
+detail when an unknown key is rejected.
+
+The unversioned routes of earlier releases (``/health``, ``/solve``, ...)
+remain as deprecated aliases: same bare (envelope-free) payloads as
+before, plus a ``Deprecation: true`` header and a ``Link`` header naming
+the ``/v1`` successor.  The delta/session endpoints exist only under
+``/v1``.
+
+The server is a ``ThreadingHTTPServer``: introspection endpoints answer
+concurrently while the service serializes solves and delta applications
+(see :class:`~repro.server.service.SolveService`).
 """
 
 from __future__ import annotations
@@ -29,9 +43,17 @@ import argparse
 import json
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import unquote
 
-from .service import ServiceError, SolveService
+from .service import (
+    DELTA_KEYS,
+    REGISTER_KEYS,
+    SESSION_SOLVE_KEYS,
+    SOLVE_KEYS,
+    ServiceError,
+    SolveService,
+)
 
 #: Default bind address (loopback: the service has no authentication).
 DEFAULT_HOST = "127.0.0.1"
@@ -40,11 +62,84 @@ DEFAULT_PORT = 8765
 #: Largest accepted request body (a graph upload), in bytes.
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: API version segment for the current route namespace.
+API_VERSION = "v1"
+
+#: Introspection routes shared by ``/v1/<name>`` and the deprecated
+#: ``/<name>`` aliases: name -> (service) -> payload.
+_GET_ROUTES: Dict[str, Callable[[SolveService], Any]] = {
+    "health": lambda service: {"status": "ok"},
+    "solvers": lambda service: service.solvers(),
+    "executors": lambda service: service.executors(),
+    "kernels": lambda service: service.kernels(),
+    "datasets": lambda service: service.datasets(),
+    "graphs": lambda service: service.graphs(),
+    "stats": lambda service: service.stats(),
+}
+
+
+def api_spec() -> Dict[str, Any]:
+    """The machine-readable API description served by ``GET /v1/spec``.
+
+    Lists every route with its method, path template, and (for POST
+    routes) the exact set of accepted body keys — the same sets the
+    shared validator enforces, so the spec can never drift from the
+    implementation.
+    """
+    routes: List[Dict[str, Any]] = [
+        {"method": "GET", "path": f"/{API_VERSION}/{name}"}
+        for name in sorted(_GET_ROUTES)
+    ]
+    routes.append({"method": "GET", "path": f"/{API_VERSION}/spec"})
+    routes.extend(
+        [
+            {
+                "method": "POST",
+                "path": f"/{API_VERSION}/graphs",
+                "keys": sorted(REGISTER_KEYS),
+            },
+            {
+                "method": "POST",
+                "path": f"/{API_VERSION}/solve",
+                "keys": sorted(SOLVE_KEYS),
+            },
+            {
+                "method": "POST",
+                "path": f"/{API_VERSION}/graphs/{{name}}/deltas",
+                "keys": sorted(DELTA_KEYS),
+            },
+            {
+                "method": "POST",
+                "path": f"/{API_VERSION}/graphs/{{name}}/solve",
+                "keys": sorted(SESSION_SOLVE_KEYS),
+            },
+        ]
+    )
+    routes.sort(key=lambda r: (r["path"], r["method"]))
+    deprecated = sorted(
+        [f"/{name}" for name in _GET_ROUTES] + ["/graphs", "/solve"]
+    )
+    return {
+        "api_version": API_VERSION,
+        "envelope": {
+            "success": {"ok": True, "data": "..."},
+            "error": {
+                "ok": False,
+                "error": {"code": "...", "message": "...", "detail": "..."},
+            },
+        },
+        "routes": routes,
+        "deprecated_aliases": [
+            {"path": path, "successor": f"/{API_VERSION}{path}"}
+            for path in deprecated
+        ],
+    }
+
 
 class SolveRequestHandler(BaseHTTPRequestHandler):
     """Route HTTP requests into the owning server's :class:`SolveService`."""
 
-    server_version = "repro-lhcds/1"
+    server_version = "repro-lhcds/2"
     protocol_version = "HTTP/1.1"
 
     @property
@@ -59,11 +154,19 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, indent=2, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -72,65 +175,131 @@ class SolveRequestHandler(BaseHTTPRequestHandler):
         if length <= 0:
             raise ServiceError("request body must be a JSON object")
         if length > MAX_BODY_BYTES:
-            raise ServiceError(f"request body exceeds {MAX_BODY_BYTES} bytes", 413)
+            raise ServiceError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+                413,
+            )
         raw = self.rfile.read(length)
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
-            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+            raise ServiceError(
+                f"request body is not valid JSON: {exc}", code="invalid_body"
+            ) from exc
 
-    def _dispatch(self, handler) -> None:
+    def _dispatch_v1(self, handler: Callable[[], Tuple[int, Any]]) -> None:
+        """Run a handler and wrap the outcome in the v1 envelope."""
         try:
             status, payload = handler()
         except ServiceError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
+            self._send_v1_error(exc.status, exc.code, str(exc), exc.detail)
         except Exception as exc:  # pragma: no cover - defensive 500
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            self._send_v1_error(500, "internal_error", f"internal error: {exc}", None)
         else:
-            self._send_json(status, payload)
+            self._send_json(status, {"ok": True, "data": payload})
+
+    def _send_v1_error(
+        self, status: int, code: str, message: str, detail: Any
+    ) -> None:
+        self._send_json(
+            status,
+            {
+                "ok": False,
+                "error": {"code": code, "message": message, "detail": detail},
+            },
+        )
+
+    def _dispatch_legacy(
+        self, successor: str, handler: Callable[[], Tuple[int, Any]]
+    ) -> None:
+        """Run a handler with the pre-v1 bare payloads and deprecation headers."""
+        headers = {
+            "Deprecation": "true",
+            "Link": f"<{successor}>; rel=\"successor-version\"",
+        }
+        try:
+            status, payload = handler()
+        except ServiceError as exc:
+            self._send_json(exc.status, {"error": str(exc)}, headers=headers)
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_json(500, {"error": f"internal error: {exc}"}, headers=headers)
+        else:
+            self._send_json(status, payload, headers=headers)
+
+    @staticmethod
+    def _segments(path: str) -> List[str]:
+        """Decoded, non-empty path segments (query strings are not used)."""
+        return [unquote(part) for part in path.split("/") if part]
 
     # ------------------------------------------------------------------
     # routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        routes = {
-            "/health": lambda: (200, {"status": "ok"}),
-            "/solvers": lambda: (200, self.service.solvers()),
-            "/executors": lambda: (200, self.service.executors()),
-            "/kernels": lambda: (200, self.service.kernels()),
-            "/datasets": lambda: (200, self.service.datasets()),
-            "/graphs": lambda: (200, self.service.graphs()),
-            "/stats": lambda: (200, self.service.stats()),
-        }
-        handler = routes.get(self.path.rstrip("/") or "/health")
-        if handler is None:
+        segments = self._segments(self.path)
+        if not segments:
+            segments = [API_VERSION, "health"]
+        if segments[0] == API_VERSION:
+            if len(segments) == 2 and segments[1] == "spec":
+                self._dispatch_v1(lambda: (200, api_spec()))
+                return
+            route = _GET_ROUTES.get(segments[1]) if len(segments) == 2 else None
+            if route is None:
+                self._send_v1_error(
+                    404, "not_found", f"unknown path {self.path!r}", None
+                )
+                return
+            self._dispatch_v1(lambda: (200, route(self.service)))
+            return
+        route = _GET_ROUTES.get(segments[0]) if len(segments) == 1 else None
+        if route is None:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
-        self._dispatch(handler)
+        self._dispatch_legacy(
+            f"/{API_VERSION}/{segments[0]}",
+            lambda: (200, route(self.service)),
+        )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.rstrip("/")
-        if path == "/solve":
-            self._dispatch(lambda: (200, self.service.solve(self._read_json_body())))
-        elif path == "/graphs":
-            self._dispatch(lambda: (201, self._register(self._read_json_body())))
+        segments = self._segments(self.path)
+        if segments and segments[0] == API_VERSION:
+            self._post_v1(segments[1:])
+            return
+        if segments == ["solve"]:
+            self._dispatch_legacy(
+                f"/{API_VERSION}/solve",
+                lambda: (200, self.service.solve(self._read_json_body())),
+            )
+        elif segments == ["graphs"]:
+            self._dispatch_legacy(
+                f"/{API_VERSION}/graphs",
+                lambda: (
+                    201,
+                    self.service.register_from_payload(self._read_json_body()),
+                ),
+            )
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
-    def _register(self, payload: Any) -> Any:
-        if not isinstance(payload, dict):
-            raise ServiceError("request body must be a JSON object")
-        known = {"name", "dataset", "edges", "vertices", "replace"}
-        unknown = sorted(set(payload) - known)
-        if unknown:
-            raise ServiceError(f"unknown request key(s): {', '.join(unknown)}")
-        return self.service.register_graph(
-            payload.get("name", ""),
-            dataset=payload.get("dataset"),
-            edges=payload.get("edges"),
-            vertices=payload.get("vertices"),
-            replace=bool(payload.get("replace", False)),
-        )
+    def _post_v1(self, segments: List[str]) -> None:
+        service = self.service
+        if segments == ["solve"]:
+            self._dispatch_v1(lambda: (200, service.solve(self._read_json_body())))
+        elif segments == ["graphs"]:
+            self._dispatch_v1(
+                lambda: (201, service.register_from_payload(self._read_json_body()))
+            )
+        elif len(segments) == 3 and segments[0] == "graphs" and segments[2] == "deltas":
+            name = segments[1]
+            self._dispatch_v1(
+                lambda: (200, service.apply_delta(name, self._read_json_body()))
+            )
+        elif len(segments) == 3 and segments[0] == "graphs" and segments[2] == "solve":
+            name = segments[1]
+            self._dispatch_v1(
+                lambda: (200, service.solve_incremental(name, self._read_json_body()))
+            )
+        else:
+            self._send_v1_error(404, "not_found", f"unknown path {self.path!r}", None)
 
 
 def create_server(
@@ -143,7 +312,7 @@ def create_server(
 ) -> Tuple[ThreadingHTTPServer, SolveService]:
     """Build a bound (not yet serving) server plus its service.
 
-    ``port=0`` binds an ephemeral port (tests, the CI smoke leg); the bound
+    ``port=0`` binds an ephemeral port (tests, the CI smoke legs); the bound
     address is ``server.server_address``.  The caller owns both lifetimes:
     ``server.shutdown()`` / ``server.server_close()`` and
     ``service.close()``.

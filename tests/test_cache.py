@@ -465,4 +465,44 @@ class TestCacheCLI:
 
     def test_artifact_schema_constant_pinned(self):
         # The on-disk schema is a compatibility contract; bump deliberately.
-        assert ARTIFACT_SCHEMA == "repro-cache/1"
+        assert ARTIFACT_SCHEMA == "repro-cache/2"
+
+
+class TestDeltaPoisoningRegression:
+    """A delta applied to a shared graph object must never let a later solve
+    hit a pre-delta artifact: the memoised content key is invalidated by
+    every structural mutation, so the cache key moves with the content."""
+
+    def test_apply_delta_changes_cache_key(self):
+        from repro.graph import GraphDelta
+
+        graph = multi_component_graph()
+        pattern = CliquePattern(3)
+        before = cache_key(graph, pattern, bounds_stage=True, prune_stage=False)
+        graph.content_key()  # populate the memo
+        graph.apply_delta(GraphDelta(remove_vertices=(0,)))
+        after = cache_key(graph, pattern, bounds_stage=True, prune_stage=False)
+        assert after != before
+        # And the post-delta key equals a fresh graph of the same content.
+        rebuilt = multi_component_graph()
+        rebuilt.remove_vertex(0)
+        assert after == cache_key(
+            rebuilt, pattern, bounds_stage=True, prune_stage=False
+        )
+
+    def test_post_delta_preprocess_is_not_a_hit(self, tmp_path):
+        from repro.graph import GraphDelta
+
+        root = str(tmp_path / "cache")
+        graph = multi_component_graph()
+        request = SolveRequest(graph=graph, pattern=3, k=2, cache_dir=root)
+        _, cold_stats = preprocess(request)
+        assert cold_stats.cache_state == STATE_MISS
+        _, warm_stats = preprocess(request)
+        assert warm_stats.cache_state == STATE_HIT_MEMORY
+
+        graph.apply_delta(GraphDelta(remove_vertices=(0,)))
+        _, after_stats = preprocess(request)
+        assert after_stats.cache_state == STATE_MISS
+        assert after_stats.cache_key != cold_stats.cache_key
+        assert after_stats.num_vertices == graph.num_vertices

@@ -94,7 +94,7 @@ class TestRegistry:
 class TestSolveSurface:
     def test_unknown_keys_rejected(self, service):
         service.register_graph("toy", edges=[[0, 1], [1, 2], [2, 0]])
-        with pytest.raises(ServiceError, match="unknown request key"):
+        with pytest.raises(ServiceError, match="unknown solve key"):
             service.solve({"graph": "toy", "k": 1, "sovler": "exact"})
 
     def test_graph_xor_dataset(self, service):
@@ -305,7 +305,7 @@ class TestHTTPServer:
         status, body = _request(
             base, "POST", "/graphs", {"name": "x", "edges": [[0, 1]], "bogus": 1}
         )
-        assert status == 400 and "unknown request key" in body["error"]
+        assert status == 400 and "unknown register key" in body["error"]
 
     def test_malformed_body_is_400(self, http_server):
         base, _service = http_server
@@ -333,3 +333,244 @@ class TestServerMain:
     def test_register_flag_unknown_dataset_fails_cleanly(self, capsys):
         assert server_main(["--port", "0", "--register", "x=no-such-dataset"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# v1 API: envelope, spec, deltas, incremental sessions
+# ----------------------------------------------------------------------
+def _request_with_headers(base, method, path, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                json.loads(response.read().decode("utf-8")),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read().decode("utf-8"))
+
+
+TRIANGLE_PAIR = [[0, 1], [1, 2], [0, 2], [10, 11], [11, 12], [10, 12], [12, 13]]
+
+
+class TestV1Envelope:
+    def test_success_envelope(self, http_server):
+        base, _service = http_server
+        status, _headers, body = _request_with_headers(base, "GET", "/v1/health")
+        assert status == 200
+        assert body == {"ok": True, "data": {"status": "ok"}}
+
+    def test_error_envelope_has_code_message_detail(self, http_server):
+        base, _service = http_server
+        status, _headers, body = _request_with_headers(
+            base, "POST", "/v1/solve", {"graph": "nope", "k": 1}
+        )
+        assert status == 404
+        assert body["ok"] is False
+        assert body["error"]["code"] == "not_found"
+        assert "message" in body["error"] and "detail" in body["error"]
+        status, _headers, body = _request_with_headers(base, "GET", "/v1/no-such")
+        assert status == 404 and body["error"]["code"] == "not_found"
+
+    def test_unknown_key_detail_enumerates_accepted(self, http_server):
+        from repro.server.service import SOLVE_KEYS
+
+        base, _service = http_server
+        status, _headers, body = _request_with_headers(
+            base, "POST", "/v1/solve", {"graph": "x", "bogus": 1}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "unknown_key"
+        assert body["error"]["detail"]["unknown"] == ["bogus"]
+        assert body["error"]["detail"]["accepted"] == sorted(SOLVE_KEYS)
+
+    def test_legacy_routes_emit_deprecation_headers(self, http_server):
+        base, _service = http_server
+        status, headers, body = _request_with_headers(base, "GET", "/health")
+        assert status == 200
+        assert body == {"status": "ok"}  # bare payload, no envelope
+        assert headers.get("Deprecation") == "true"
+        assert "/v1/health" in headers.get("Link", "")
+        # POST aliases too.
+        status, headers, body = _request_with_headers(
+            base, "POST", "/graphs", {"name": "dep", "edges": [[0, 1]]}
+        )
+        assert status == 201 and headers.get("Deprecation") == "true"
+        assert "/v1/graphs" in headers.get("Link", "")
+
+    def test_v1_routes_have_no_deprecation_header(self, http_server):
+        base, _service = http_server
+        _status, headers, _body = _request_with_headers(base, "GET", "/v1/health")
+        assert "Deprecation" not in headers
+
+    def test_spec_lists_routes_and_keys(self, http_server):
+        from repro.server.service import (
+            DELTA_KEYS,
+            REGISTER_KEYS,
+            SESSION_SOLVE_KEYS,
+            SOLVE_KEYS,
+        )
+
+        base, _service = http_server
+        status, _headers, body = _request_with_headers(base, "GET", "/v1/spec")
+        assert status == 200 and body["ok"]
+        spec = body["data"]
+        assert spec["api_version"] == "v1"
+        by_path = {
+            (route["method"], route["path"]): route for route in spec["routes"]
+        }
+        assert by_path[("POST", "/v1/solve")]["keys"] == sorted(SOLVE_KEYS)
+        assert by_path[("POST", "/v1/graphs")]["keys"] == sorted(REGISTER_KEYS)
+        assert by_path[("POST", "/v1/graphs/{name}/deltas")]["keys"] == sorted(
+            DELTA_KEYS
+        )
+        assert by_path[("POST", "/v1/graphs/{name}/solve")]["keys"] == sorted(
+            SESSION_SOLVE_KEYS
+        )
+        assert ("GET", "/v1/spec") in by_path
+        successors = {a["path"]: a["successor"] for a in spec["deprecated_aliases"]}
+        assert successors["/solve"] == "/v1/solve"
+
+    def test_session_solve_keys_mirror_solve_keys(self):
+        from repro.server.service import SESSION_SOLVE_KEYS, SOLVE_KEYS
+
+        assert SESSION_SOLVE_KEYS == SOLVE_KEYS - {"graph", "dataset"}
+
+
+class TestDeltasService:
+    def test_delta_roundtrip_bit_identity(self, service):
+        from repro.engine import json_report_signature
+
+        service.register_graph("g", edges=TRIANGLE_PAIR)
+        options = {"solver": "ippv", "k": 2, "h": 3}
+        warm = service.solve_incremental("g", options)
+        cold = service.solve({"graph": "g", **options})
+        assert json_report_signature(warm) == json_report_signature(cold)
+
+        service.apply_delta("g", {"add_edges": [[2, 10]], "remove_edges": [[0, 1]]})
+        warm = service.solve_incremental("g", options)
+        cold = service.solve({"graph": "g", **options})
+        assert json_report_signature(warm) == json_report_signature(cold)
+        assert warm["incremental"]["epoch"] == 1
+
+    def test_delta_poisons_preprocess_cache_key(self, service):
+        """Regression: a delta must change the cache key, so a post-delta
+        solve can never be served a pre-delta artifact."""
+        service.register_graph("g", edges=TRIANGLE_PAIR)
+        options = {"graph": "g", "solver": "ippv", "k": 1, "h": 3}
+        first = service.solve(options)
+        assert first["cache"]["state"] == "miss"
+        warm = service.solve(options)
+        assert warm["cache"]["state"] in ("hit", "hit-memory")
+        service.apply_delta("g", {"remove_edges": [[0, 1]]})
+        after = service.solve(options)
+        assert after["cache"]["state"] not in ("hit", "hit-memory")
+        assert after["cache"]["key"] != first["cache"]["key"]
+
+    def test_delta_repairs_every_session_and_counts(self, service):
+        service.register_graph("g", edges=TRIANGLE_PAIR)
+        service.solve_incremental("g", {"h": 3, "solver": "ippv", "k": 1})
+        service.solve_incremental("g", {"h": 2, "solver": "ippv", "k": 1})
+        out = service.apply_delta("g", {"add_edges": [[13, 14]]})
+        assert len(out["sessions"]) == 2  # one per pattern
+        assert out["epoch"] == 1
+        assert out["graph_state"]["edges"] == len(TRIANGLE_PAIR) + 1
+        stats = service.stats()
+        assert stats["counters"]["deltas"] == 1
+        assert len(stats["sessions"]) == 2
+        assert all(s["epoch"] == 1 for s in stats["sessions"])
+
+    def test_delta_validation_and_errors(self, service):
+        from repro.server.service import DELTA_KEYS
+
+        service.register_graph("g", edges=[[0, 1]])
+        with pytest.raises(ServiceError) as excinfo:
+            service.apply_delta("g", {"bogus": 1})
+        assert excinfo.value.code == "unknown_key"
+        assert excinfo.value.detail["accepted"] == sorted(DELTA_KEYS)
+        with pytest.raises(ServiceError) as excinfo:
+            service.apply_delta("missing", {"add_edges": [[1, 2]]})
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            service.apply_delta("g", {"remove_vertices": [42]})
+        assert excinfo.value.code == "bad_delta"
+        with pytest.raises(ServiceError) as excinfo:
+            service.apply_delta("g", {})
+        assert excinfo.value.code == "bad_delta"
+
+    def test_rejected_delta_leaves_graph_intact(self, service):
+        service.register_graph("g", edges=TRIANGLE_PAIR)
+        before = service.solve({"graph": "g", "h": 3, "solver": "ippv", "k": 1})
+        with pytest.raises(ServiceError):
+            service.apply_delta(
+                "g", {"add_edges": [[50, 51]], "remove_vertices": [42]}
+            )
+        after = service.solve({"graph": "g", "h": 3, "solver": "ippv", "k": 1})
+        assert _served_signature(after) == _served_signature(before)
+        assert service.stats()["counters"]["deltas"] == 0
+
+    def test_replace_drops_sessions(self, service):
+        service.register_graph("g", edges=TRIANGLE_PAIR)
+        service.solve_incremental("g", {"h": 3, "solver": "ippv", "k": 1})
+        assert len(service.sessions()) == 1
+        service.register_graph("g", edges=[[0, 1], [1, 2], [0, 2]], replace=True)
+        assert service.sessions() == []
+
+    def test_session_rejects_unknown_and_selector_keys(self, service):
+        service.register_graph("g", edges=TRIANGLE_PAIR)
+        with pytest.raises(ServiceError, match="unknown solve key"):
+            service.solve_incremental("g", {"graph": "g", "h": 3})
+        with pytest.raises(ServiceError, match="unknown solve key"):
+            service.solve_incremental("g", {"dataset": "HA"})
+
+
+class TestDeltasHTTP:
+    def test_http_delta_stream_matches_cold(self, http_server):
+        from repro.engine import json_report_signature
+
+        base, _service = http_server
+        status, _h, body = _request_with_headers(
+            base, "POST", "/v1/graphs", {"name": "g", "edges": TRIANGLE_PAIR}
+        )
+        assert status == 201 and body["ok"]
+        options = {"solver": "exact", "k": 2, "h": 3}
+        for delta in (
+            {"add_edges": [[2, 20], [20, 21], [2, 21]]},
+            {"remove_vertices": [12]},
+            {"add_vertices": [99]},
+        ):
+            status, _h, body = _request_with_headers(
+                base, "POST", "/v1/graphs/g/deltas", delta
+            )
+            assert status == 200 and body["ok"], body
+            status, _h, warm = _request_with_headers(
+                base, "POST", "/v1/graphs/g/solve", options
+            )
+            assert status == 200 and warm["ok"], warm
+            status, _h, cold = _request_with_headers(
+                base, "POST", "/v1/solve", {"graph": "g", **options}
+            )
+            assert json_report_signature(warm["data"]) == json_report_signature(
+                cold["data"]
+            )
+
+    def test_quoted_graph_names(self, http_server):
+        base, _service = http_server
+        status, _h, body = _request_with_headers(
+            base,
+            "POST",
+            "/v1/graphs",
+            {"name": "my graph", "edges": [[0, 1], [1, 2], [0, 2]]},
+        )
+        assert status == 201
+        status, _h, body = _request_with_headers(
+            base, "POST", "/v1/graphs/my%20graph/solve", {"h": 3, "k": 1}
+        )
+        assert status == 200 and body["ok"]
