@@ -1,0 +1,39 @@
+"""Static-analysis benchmark: repro-lint over the whole ``src/`` tree.
+
+The invariant gate runs on every CI push, so its cost is part of the
+feedback loop.  With the concurrency rules (CC01/CC02/MU01) the analyzer
+now computes a full mutation summary for every class in the tree on top of
+the original four checkers; this benchmark keeps that honest by timing one
+complete ``lint_paths`` sweep of ``src/`` with every registered rule and
+recording it as ``lint.analyze_repo_s``.
+
+The assertions are sanity bars, not micro-tuning: the sweep must finish in
+single-digit seconds even on a shared runner, and it must come back clean —
+a finding here means the repo sweep regressed, which the lint job would
+also catch, but failing fast in the benchmark keeps the timing meaningful
+(an erroring analyzer can be arbitrarily fast).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import available_checkers, lint_paths
+
+SRC = Path(__file__).parents[1] / "src"
+
+
+def test_analyze_repo(bench_metrics):
+    start = time.perf_counter()
+    report = lint_paths([str(SRC)])
+    elapsed = time.perf_counter() - start
+
+    assert report.files_checked > 0
+    assert len(available_checkers()) >= 7
+    assert report.active == [], [f.message for f in report.active]
+    # Generous bound: the sweep takes well under a second locally; 30s
+    # means something is catastrophically wrong, not merely noisy.
+    assert elapsed < 30.0
+
+    bench_metrics["lint.analyze_repo_s"] = elapsed

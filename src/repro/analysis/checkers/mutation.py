@@ -1,0 +1,264 @@
+"""MU01 — warm-artifact escape: cached objects may not mutate in place.
+
+The preprocess cache and the incremental sessions keep *warm stores* —
+``PreprocessCache._memory``, ``IncrementalSession._states`` /
+``_results`` / ``_components`` — whose entries are shared across solves.
+A solve that mutates an entry in place poisons every later solve that
+warms from it, which is exactly the class of bug that forced the global
+solve lock.  The rule has two facets:
+
+* **Provider facet.**  ``fetch`` on a ``*Cache`` class is the sanctioned
+  way warm artifacts leave the store, and its contract is *copy on the
+  way out*: every value a ``fetch`` returns must be built from copy
+  constructors (``list(...)``, ``dict(...)``, ``dataclasses.replace(...)``,
+  ``.copy()`` — :data:`~repro.analysis.effects.COPY_CALLS`), constants, or
+  ``UPPER_CASE`` state markers.  Returning a stored object bare is a
+  finding.  Because the provider copies, downstream code may freely mutate
+  what ``fetch`` hands back — no consumer pragma needed.
+
+* **Consumer facet.**  Reading a warm store *directly* — subscripting it,
+  ``.get``/``.setdefault``/``.pop``/``.values``/``.items``, or iterating
+  ``self._components`` — taints the local it lands in.  Mutating a tainted
+  local (item assignment, attribute assignment, in-place mutator call,
+  ``del``) is a finding; rebinding it through a copy constructor launders
+  the taint.  Taint follows tuple unpacking and ``for`` targets.
+
+Intentional in-place updates (e.g. a store's own maintenance code) carry a
+reasoned ``# repro: allow-MU01(...)`` pragma like any other rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, List, Optional, Tuple
+
+from ..base import CheckContext, Checker, Finding
+from ..effects import MUTATOR_METHODS, is_copy_call, root_name
+
+#: ``self`` attributes holding shared warm artifacts.
+WARM_STORES = frozenset({"_memory", "_states", "_results", "_components"})
+
+#: Store methods whose result is (or iterates) stored elements.
+STORE_ELEMENT_CALLS = frozenset(
+    {"get", "setdefault", "pop", "popitem", "values", "items"}
+)
+
+#: Method name + class-name suffix identifying the provider facet.
+PROVIDER_METHOD = "fetch"
+PROVIDER_CLASS_SUFFIX = "Cache"
+
+
+def _walk_skipping_nested(node: ast.AST, include_root: bool = False):
+    """Walk a subtree without descending into nested defs or lambdas."""
+    stack = (
+        [node] if include_root else list(ast.iter_child_nodes(node))
+    )
+    while stack:
+        current = stack.pop()
+        if current is not node and isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _warm_store_attr(node: ast.AST) -> Optional[str]:
+    """The warm store name when ``node`` is ``self.<store>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in WARM_STORES
+    ):
+        return node.attr
+    return None
+
+
+class WarmArtifactChecker(Checker):
+    """Warm-store reads must copy before anything mutates the result."""
+
+    rule: ClassVar[str] = "MU01"
+    title: ClassVar[str] = (
+        "warm cache artifacts are copied before any in-place mutation"
+    )
+    description: ClassVar[str] = (
+        "fetch() must return copies; locals read directly from warm stores "
+        "(_memory/_states/_results/_components) must be laundered through a "
+        "copy constructor before item/attribute writes or mutator calls"
+    )
+    scope: ClassVar[Tuple[str, ...]] = ("repro/engine/", "repro/server/")
+
+    def run(self, tree: ast.AST, context: CheckContext) -> List[Finding]:
+        self.findings = []
+        self._context = context
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name.endswith(
+                PROVIDER_CLASS_SUFFIX
+            ):
+                for method in node.body:
+                    if (
+                        isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and method.name == PROVIDER_METHOD
+                    ):
+                        self._check_provider(node.name, method)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_consumer(node)
+        return self.findings
+
+    # ------------------------------------------------------------------
+    # provider facet
+    # ------------------------------------------------------------------
+    def _check_provider(self, class_name: str, method: ast.AST) -> None:
+        for sub in _walk_skipping_nested(method):
+            if not isinstance(sub, ast.Return) or sub.value is None:
+                continue
+            value = sub.value
+            elements = value.elts if isinstance(value, ast.Tuple) else [value]
+            for element in elements:
+                if self._is_safe_return(element):
+                    continue
+                self.report(
+                    sub,
+                    f"{class_name}.{method.name}: returns a stored object "
+                    "without copying — wrap it in list()/dict()/"
+                    "dataclasses.replace()/.copy() so callers cannot mutate "
+                    "the warm store",
+                )
+                break
+
+    def _is_safe_return(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return True
+        if is_copy_call(node):
+            return True
+        # UPPER_CASE names/attributes are state-marker constants.
+        if isinstance(node, ast.Name) and node.id.isupper():
+            return True
+        if isinstance(node, ast.Attribute) and node.attr.isupper():
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # consumer facet
+    # ------------------------------------------------------------------
+    def _check_consumer(self, func: ast.AST) -> None:
+        #: local name -> the warm store it was read from
+        tainted: Dict[str, str] = {}
+
+        def expr_store(node: ast.AST) -> Optional[str]:
+            """The warm store an expression's value came from, if any."""
+            if isinstance(node, ast.Name):
+                return tainted.get(node.id)
+            if isinstance(node, ast.Subscript):
+                return expr_store(node.value) or _warm_store_attr(node.value)
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if is_copy_call(node):
+                    return None
+                if node.func.attr in STORE_ELEMENT_CALLS:
+                    return expr_store(node.func.value) or _warm_store_attr(
+                        node.func.value
+                    )
+                return None
+            if isinstance(node, ast.Tuple):
+                for element in node.elts:
+                    store = expr_store(element)
+                    if store is not None:
+                        return store
+            return None
+
+        def taint_target(target: ast.AST, store: Optional[str]) -> None:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    taint_target(element, store)
+                return
+            if isinstance(target, ast.Starred):
+                taint_target(target.value, store)
+                return
+            if isinstance(target, ast.Name):
+                if store is None:
+                    tainted.pop(target.id, None)
+                else:
+                    tainted[target.id] = store
+
+        def check_mutation(target: ast.AST, node: ast.AST, what: str) -> None:
+            root = root_name(target)
+            if root is None or root.id not in tainted:
+                return
+            if isinstance(target, ast.Name):
+                return  # a plain rebind, not an in-place mutation
+            store = tainted[root.id]
+            self.report(
+                node,
+                f"{func.name}: {what} {root.id!r}, read from warm store "
+                f"'self.{store}', without copying first — mutations here "
+                "poison every later solve that warms from the store",
+            )
+
+        for statement in self._statements(func):
+            # in-place mutator calls anywhere in the statement
+            for sub in _walk_skipping_nested(statement, include_root=True):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in MUTATOR_METHODS
+                ):
+                    receiver = sub.func.value
+                    root = root_name(receiver)
+                    if root is not None and root.id in tainted:
+                        store = tainted[root.id]
+                        self.report(
+                            sub,
+                            f"{func.name}: calls .{sub.func.attr}() on "
+                            f"{root.id!r}, read from warm store "
+                            f"'self.{store}', without copying first",
+                        )
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    check_mutation(target, statement, "writes into")
+                store = expr_store(statement.value)
+                for target in statement.targets:
+                    taint_target(target, store)
+            elif isinstance(statement, ast.AnnAssign) and statement.value:
+                check_mutation(statement.target, statement, "writes into")
+                taint_target(statement.target, expr_store(statement.value))
+            elif isinstance(statement, ast.AugAssign):
+                check_mutation(statement.target, statement, "writes into")
+            elif isinstance(statement, ast.Delete):
+                for target in statement.targets:
+                    check_mutation(target, statement, "deletes from")
+                    if isinstance(target, ast.Name):
+                        tainted.pop(target.id, None)
+            elif isinstance(statement, ast.For):
+                iter_store = expr_store(statement.iter) or _warm_store_attr(
+                    statement.iter
+                )
+                taint_target(statement.target, iter_store)
+
+    def _statements(self, func: ast.AST):
+        """The function's statements in source order, nested defs cut out."""
+        stack = list(getattr(func, "body", []))
+        while stack:
+            statement = stack.pop(0)
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield statement
+            nested: List[ast.stmt] = []
+            for field_, value in ast.iter_fields(statement):
+                if field_ in ("body", "orelse", "finalbody"):
+                    nested.extend(v for v in value if isinstance(v, ast.stmt))
+                elif field_ == "handlers":
+                    for handler in value:
+                        nested.extend(handler.body)
+            stack[:0] = nested
+
+
+__all__ = [
+    "PROVIDER_CLASS_SUFFIX",
+    "PROVIDER_METHOD",
+    "STORE_ELEMENT_CALLS",
+    "WARM_STORES",
+    "WarmArtifactChecker",
+]

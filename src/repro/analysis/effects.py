@@ -1,0 +1,754 @@
+"""Mutation-summary engine: who mutates what, and under which lock.
+
+The concurrency roadmap item — removing the solve service's global solve
+lock, sharing one cache directory between replicas, dispatching to worker
+pools — stalls on one question the code base could not answer statically:
+*which methods mutate which shared fields, and does the declared lock
+actually cover them?*  This module answers it with an intraprocedural AST
+dataflow pass over every class:
+
+* **Direct writes.**  ``self.X = v``, ``self.X op= v``, ``del self.X``,
+  tuple-unpacking targets (``self.X, n = f()``), and nested-target writes
+  (``self.X.Y = v`` mutates the object stored in ``X``).
+* **Mutating calls.**  ``self.X.append(...)``, ``.update``, ``.pop``,
+  ``self.X[k] = v`` and every other :data:`MUTATOR_METHODS` member, rooted
+  through arbitrary attribute/subscript chains (``self.X[k].rows.extend``
+  still mutates ``X``).
+* **Aliases.**  ``record = self._records.get(name)`` then
+  ``record["solves"] += 1`` is a mutation of ``_records`` *via* the local
+  alias.  Alias tracking is lexical: a rebinding to anything other than the
+  same field kills the alias, and laundering through a copy constructor
+  (``dict(...)``, ``list(...)``, ``dataclasses.replace`` — see
+  :data:`COPY_CALLS`) never creates one.
+* **Lock context.**  Every mutation records the set of ``with self.<lock>:``
+  blocks lexically enclosing it.  Mutations inside nested ``def``/``lambda``
+  bodies record *no* locks — the callable may run long after the block
+  exits.
+
+Two comment conventions extend the picture (parsed with the same
+``# repro:`` marker as the suppression pragmas):
+
+* ``# repro: guarded-by(<lock>)`` on a ``self.<field> = ...`` line (or the
+  line directly above it) declares the field guarded — the inline twin of a
+  class-level ``GUARDED_BY = {"<field>": "<lock>"}`` manifest literal.
+* ``# repro: holds(<lock>)`` on a ``def`` line (or directly above it)
+  declares that every caller already holds ``self.<lock>``; the method's
+  mutations are summarised as if the lock were held throughout.  This is
+  how private helpers that run under their caller's critical section
+  (``PreprocessCache._remember``) stay analysable without inline noise.
+
+The summaries feed three checkers — CC01 lock discipline, CC02 executor
+capture safety, MU01 warm-artifact escape — and are dumped directly by
+``repro-lhcds lint --summaries [CLASS]`` so intended and actual effects can
+be diffed across PRs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .base import AnalysisError, CheckContext
+
+#: Method names that mutate their receiver in place.  Collected from the
+#: containers the repo actually shares (dict, list, set, deque,
+#: OrderedDict) — a lint set, not an exhaustive model of Python.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "update",
+        "write",
+        "writelines",
+    }
+)
+
+#: Calls that return a fresh object: assigning their result never aliases
+#: the argument, and rebinding a tainted name through one launders it.
+COPY_CALLS = frozenset(
+    {
+        "copy",
+        "deepcopy",
+        "dict",
+        "frozenset",
+        "list",
+        "replace",  # dataclasses.replace
+        "set",
+        "sorted",
+        "tuple",
+    }
+)
+
+#: Constructor names whose call result is a lock object; assigning one to
+#: ``self.<attr>`` declares that attribute as a lock field.
+LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Receiver methods whose result is an *element* of the receiver: binding
+#: it creates an alias into the container's owned state.
+ELEMENT_GETTERS = frozenset({"get", "setdefault"})
+
+_GUARDED_BY_PRAGMA = re.compile(r"#\s*repro:\s*guarded-by\((?P<lock>[A-Za-z_]\w*)\)")
+_HOLDS_PRAGMA = re.compile(r"#\s*repro:\s*holds\((?P<lock>[A-Za-z_]\w*)\)")
+
+#: Name of the class-level manifest literal.
+MANIFEST_NAME = "GUARDED_BY"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One statically detected mutation of a ``self`` attribute."""
+
+    #: The attribute on ``self`` that is (transitively) mutated.
+    field: str
+    #: ``assign`` / ``augassign`` / ``delete`` / ``subscript`` / ``attr`` /
+    #: ``call`` — the syntactic shape of the mutation site.
+    kind: str
+    method: str
+    line: int
+    col: int
+    #: The local alias the mutation went through ('' for direct access).
+    via: str = ""
+    #: Extra context: the mutator method name for ``call`` mutations.
+    detail: str = ""
+    #: Locks (attribute names on ``self``) lexically held at the statement,
+    #: including the method's declared ``holds`` pragmas.
+    locks: FrozenSet[str] = frozenset()
+
+    def describe(self) -> str:
+        """One human line: site shape, alias, and lock context."""
+        via = f" via alias {self.via!r}" if self.via else ""
+        call = f".{self.detail}()" if self.kind == "call" else ""
+        locks = (
+            " under " + "+".join(sorted(self.locks)) if self.locks else " unlocked"
+        )
+        return f"L{self.line} {self.kind}{call}{via}{locks}"
+
+
+@dataclass
+class MethodSummary:
+    """Every mutation one method performs, plus its declared lock context."""
+
+    name: str
+    line: int
+    mutations: List[Mutation] = field(default_factory=list)
+    #: Locks declared held by every caller (``# repro: holds(<lock>)``).
+    holds: FrozenSet[str] = frozenset()
+    #: Locks the method itself enters (``with self.<lock>:`` anywhere).
+    acquires: FrozenSet[str] = frozenset()
+
+    def mutated_fields(self) -> Dict[str, List[Mutation]]:
+        """Mutations grouped by field, in first-occurrence order."""
+        grouped: Dict[str, List[Mutation]] = {}
+        for mutation in self.mutations:
+            grouped.setdefault(mutation.field, []).append(mutation)
+        return grouped
+
+
+@dataclass
+class ClassSummary:
+    """Per-class mutation summary plus the declared lock discipline."""
+
+    name: str
+    path: str
+    line: int
+    methods: Dict[str, MethodSummary] = field(default_factory=dict)
+    #: field -> lock, merged from the ``GUARDED_BY`` manifest literal and
+    #: inline ``guarded-by`` pragmas.
+    guarded_by: Dict[str, str] = field(default_factory=dict)
+    #: field -> line of its guard declaration (for finding anchors).
+    guard_lines: Dict[str, int] = field(default_factory=dict)
+    #: ``self`` attributes assigned a lock constructor result.
+    lock_fields: Set[str] = field(default_factory=set)
+    #: Every ``self`` attribute the class ever assigns.
+    fields: Set[str] = field(default_factory=set)
+    #: Line of the ``GUARDED_BY`` manifest (None = no manifest).
+    manifest_line: Optional[int] = None
+    #: Why the manifest could not be read (non-literal entries).
+    manifest_error: Optional[str] = None
+    #: ``guarded-by`` pragma lines that attached to no field write.
+    dangling_guard_pragmas: List[int] = field(default_factory=list)
+
+    def mutations_of(self, name: str) -> List[Mutation]:
+        """Every mutation of one field across all methods, in method order."""
+        found: List[Mutation] = []
+        for summary in self.methods.values():
+            for mutation in summary.mutations:
+                if mutation.field == name:
+                    found.append(mutation)
+        return found
+
+    def to_json_dict(self) -> dict:
+        return {
+            "class": self.name,
+            "path": self.path,
+            "line": self.line,
+            "guarded_by": dict(sorted(self.guarded_by.items())),
+            "lock_fields": sorted(self.lock_fields),
+            "fields": sorted(self.fields),
+            "methods": [
+                {
+                    "name": summary.name,
+                    "line": summary.line,
+                    "holds": sorted(summary.holds),
+                    "acquires": sorted(summary.acquires),
+                    "mutations": [
+                        {
+                            "field": m.field,
+                            "kind": m.kind,
+                            "line": m.line,
+                            "via": m.via,
+                            "detail": m.detail,
+                            "locks": sorted(m.locks),
+                        }
+                        for m in summary.mutations
+                    ],
+                }
+                for summary in self.methods.values()
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# expression helpers
+# ----------------------------------------------------------------------
+def root_name(node: ast.AST) -> Optional[ast.AST]:
+    """The base of an attribute/subscript chain (a Name or ``self`` Name)."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    return current if isinstance(current, ast.Name) else None
+
+
+def self_field(node: ast.AST) -> Optional[str]:
+    """The first attribute after ``self`` in a chain, or None.
+
+    ``self.X`` -> ``X``; ``self.X[k].rows`` -> ``X``; ``other.X`` -> None.
+    """
+    chain: List[ast.AST] = []
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        chain.append(current)
+        current = current.value
+    if not (isinstance(current, ast.Name) and current.id == "self"):
+        return None
+    for link in reversed(chain):
+        if isinstance(link, ast.Attribute):
+            return link.attr
+    return None
+
+
+def is_copy_call(node: ast.AST) -> bool:
+    """Whether the expression is a fresh-object constructor call."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else ""
+    )
+    return name in COPY_CALLS
+
+
+def _is_lock_constructor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else ""
+    )
+    return name in LOCK_CONSTRUCTORS
+
+
+def _with_locks(node: ast.With) -> Set[str]:
+    """Lock attribute names entered by one ``with`` statement."""
+    locks: Set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            locks.add(expr.attr)
+    return locks
+
+
+def _pragma_lines(
+    lines: Sequence[str], pattern: re.Pattern
+) -> Dict[int, str]:
+    """Map 1-indexed line numbers to the lock named by a matching pragma."""
+    found: Dict[int, str] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = pattern.search(text)
+        if match is not None:
+            found[lineno] = match.group("lock")
+    return found
+
+
+# ----------------------------------------------------------------------
+# the per-method dataflow visitor
+# ----------------------------------------------------------------------
+class _MethodVisitor(ast.NodeVisitor):
+    """Collect one method's mutations, lock contexts, and aliases.
+
+    Lexical approximation: statements are visited in source order, the
+    alias map mirrors straight-line dataflow, and ``with self.<lock>:``
+    nesting stands in for "the lock is held when this statement runs".
+    Nested function/lambda bodies are visited with an *empty* lock stack —
+    their execution time is unknown.
+    """
+
+    def __init__(self, method: MethodSummary) -> None:
+        self.method = method
+        self._locks: List[str] = list(method.holds)
+        self._acquired: Set[str] = set()
+        #: local name -> self field it aliases
+        self._aliases: Dict[str, str] = {}
+
+    # -- recording ------------------------------------------------------
+    def _record(
+        self,
+        node: ast.AST,
+        field_name: str,
+        kind: str,
+        *,
+        via: str = "",
+        detail: str = "",
+    ) -> None:
+        self.method.mutations.append(
+            Mutation(
+                field=field_name,
+                kind=kind,
+                method=self.method.name,
+                line=getattr(node, "lineno", self.method.line),
+                col=getattr(node, "col_offset", 0) + 1,
+                via=via,
+                detail=detail,
+                locks=frozenset(self._locks),
+            )
+        )
+
+    def _resolve(self, node: ast.AST) -> Optional[Tuple[str, str]]:
+        """Resolve a chain to ``(field, via_alias)`` when it roots at state."""
+        direct = self_field(node)
+        if direct is not None:
+            return direct, ""
+        root = root_name(node)
+        if root is not None and root.id in self._aliases:
+            return self._aliases[root.id], root.id
+        return None
+
+    # -- targets --------------------------------------------------------
+    def _handle_target(self, target: ast.AST, node: ast.AST, kind: str) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._handle_target(element, node, kind)
+            return
+        if isinstance(target, ast.Starred):
+            self._handle_target(target.value, node, kind)
+            return
+        if isinstance(target, ast.Attribute):
+            resolved = self._resolve(target.value)
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                # self.X = ... — a direct write of the field itself.
+                self._record(node, target.attr, kind)
+            elif resolved is not None:
+                # self.X.Y = ... or alias.Y = ... — mutates the object in X.
+                field_name, via = resolved
+                self._record(node, field_name, "attr", via=via)
+            return
+        if isinstance(target, ast.Subscript):
+            resolved = self._resolve(target)
+            if resolved is not None:
+                field_name, via = resolved
+                self._record(node, field_name, "subscript", via=via)
+            return
+        # Plain Name target: a rebinding — maybe a new alias, always the
+        # death of the old one.
+        if isinstance(target, ast.Name):
+            self._aliases.pop(target.id, None)
+
+    def _maybe_alias(self, target: ast.AST, value: ast.AST) -> None:
+        """``x = self.X`` / ``x = self.X[k]`` / ``x = self.X.get(k)`` alias.
+
+        Element accesses alias too: mutating ``self._records.get(name)``
+        mutates an object the ``_records`` store owns, so writes through
+        the element must honour the store's lock.  Copy constructors
+        (:data:`COPY_CALLS`) break the chain.
+        """
+        if not isinstance(target, ast.Name):
+            return
+        if is_copy_call(value):
+            return
+        source: ast.AST = value
+        # ``self.X.get(k)`` / ``.setdefault(k, v)``: the call result is an
+        # element of X — follow the receiver chain instead.
+        if isinstance(source, ast.Call) and isinstance(source.func, ast.Attribute):
+            if source.func.attr in ELEMENT_GETTERS:
+                source = source.func.value
+            else:
+                return
+        if isinstance(source, ast.Name):
+            field_name = self._aliases.get(source.id)
+        elif isinstance(source, (ast.Attribute, ast.Subscript)):
+            resolved = self._resolve(source)
+            field_name = resolved[0] if resolved is not None else None
+        else:
+            return
+        if field_name is not None:
+            self._aliases[target.id] = field_name
+
+    # -- statements -----------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._scan_calls(node.value)
+        for target in node.targets:
+            self._handle_target(target, node, "assign")
+        for target in node.targets:
+            self._maybe_alias(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._scan_calls(node.value)
+            self._handle_target(node.target, node, "assign")
+            self._maybe_alias(node.target, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._scan_calls(node.value)
+        target = node.target
+        if isinstance(target, ast.Name) and target.id in self._aliases:
+            # ``alias += ...`` mutates the aliased container in place (list
+            # ``+=`` is extend; int/str aliases of shared state are not
+            # containers, but flagging the write is the safe reading).
+            self._record(node, self._aliases[target.id], "augassign", via=target.id)
+            return
+        self._handle_target(target, node, "augassign")
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ) and target.value.id == "self":
+                self._record(node, target.attr, "delete")
+                continue
+            if isinstance(target, ast.Subscript):
+                resolved = self._resolve(target)
+                if resolved is not None:
+                    field_name, via = resolved
+                    self._record(node, field_name, "subscript", via=via)
+                continue
+            if isinstance(target, ast.Name):
+                self._aliases.pop(target.id, None)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self._scan_calls(node.value)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self._scan_calls(node.value)
+
+    def _scan_calls(self, node: ast.AST) -> None:
+        """Find mutator calls in an expression (not inside nested lambdas)."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Lambda):
+                continue  # handled by visit_Lambda with an empty lock stack
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in MUTATOR_METHODS:
+                continue
+            resolved = self._resolve(func.value)
+            if resolved is not None:
+                field_name, via = resolved
+                self._record(sub, field_name, "call", via=via, detail=func.attr)
+
+    # -- control flow ---------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self._scan_calls(item.context_expr)
+        locks = _with_locks(node)
+        self._locks.extend(sorted(locks))
+        self._acquired.update(locks)
+        for statement in node.body:
+            self.visit(statement)
+        for _ in locks:
+            self._locks.pop()
+
+    visit_AsyncWith = visit_With
+
+    def _visit_nested(self, node: ast.AST, body) -> None:
+        """Nested callables run later: empty locks, fresh aliases."""
+        saved_locks, saved_aliases = self._locks, self._aliases
+        self._locks, self._aliases = [], {}
+        for statement in body:
+            self.visit(statement)
+        self._locks, self._aliases = saved_locks, saved_aliases
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node, node.body)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node, [ast.Expr(value=node.body)])
+
+    def finish(self) -> None:
+        self.method.acquires = frozenset(self._acquired)
+
+
+# ----------------------------------------------------------------------
+# class-level summarisation
+# ----------------------------------------------------------------------
+def _read_manifest(node: ast.ClassDef) -> Tuple[Dict[str, str], Optional[int], Optional[str]]:
+    """Extract the ``GUARDED_BY`` dict literal from a class body."""
+    for statement in node.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == MANIFEST_NAME for t in targets
+        ):
+            continue
+        line = statement.lineno
+        if not isinstance(value, ast.Dict):
+            return {}, line, f"{MANIFEST_NAME} must be a dict literal"
+        manifest: Dict[str, str] = {}
+        for key, val in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(val, ast.Constant)
+                and isinstance(val.value, str)
+            ):
+                manifest[key.value] = val.value
+            else:
+                return {}, line, (
+                    f"{MANIFEST_NAME} entries must be string literals "
+                    "(field -> lock attribute)"
+                )
+        return manifest, line, None
+    return {}, None, None
+
+
+def _class_fields(node: ast.ClassDef) -> Tuple[Set[str], Set[str], Dict[str, List[int]]]:
+    """All ``self`` attributes assigned anywhere, lock fields, write lines."""
+    fields: Set[str] = set()
+    locks: Set[str] = set()
+    write_lines: Dict[str, List[int]] = {}
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(method):
+            value: Optional[ast.AST] = None
+            targets: List[ast.AST] = []
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                targets, value = [sub.target], sub.value
+            elif isinstance(sub, ast.AugAssign):
+                targets = [sub.target]
+            flat: List[ast.AST] = []
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    flat.extend(target.elts)
+                else:
+                    flat.append(target)
+            for target in flat:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    fields.add(target.attr)
+                    write_lines.setdefault(target.attr, []).append(sub.lineno)
+                    if value is not None and _is_lock_constructor(value):
+                        locks.add(target.attr)
+    return fields, locks, write_lines
+
+
+def summarize_class(node: ast.ClassDef, context: CheckContext) -> ClassSummary:
+    """Build the full mutation summary for one class definition."""
+    manifest, manifest_line, manifest_error = _read_manifest(node)
+    fields, lock_fields, write_lines = _class_fields(node)
+    summary = ClassSummary(
+        name=node.name,
+        path=context.path,
+        line=node.lineno,
+        guarded_by=dict(manifest),
+        lock_fields=lock_fields,
+        fields=fields,
+        manifest_line=manifest_line,
+        manifest_error=manifest_error,
+    )
+    for field_name in manifest:
+        summary.guard_lines[field_name] = manifest_line or node.lineno
+
+    guard_pragmas = _pragma_lines(context.lines, _GUARDED_BY_PRAGMA)
+    holds_pragmas = _pragma_lines(context.lines, _HOLDS_PRAGMA)
+
+    # Attach inline guarded-by pragmas: the pragma covers a field written on
+    # the same line or the line below (pragma above the assignment).
+    for pragma_line, lock in guard_pragmas.items():
+        attached = None
+        for field_name, lines_ in write_lines.items():
+            if pragma_line in lines_ or pragma_line + 1 in lines_:
+                attached = field_name
+                break
+        if attached is None:
+            if node.lineno <= pragma_line <= (node.end_lineno or pragma_line):
+                summary.dangling_guard_pragmas.append(pragma_line)
+            continue
+        summary.guarded_by.setdefault(attached, lock)
+        summary.guard_lines.setdefault(attached, pragma_line)
+
+    for statement in node.body:
+        if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        holds: Set[str] = set()
+        candidates = {statement.lineno, statement.lineno - 1}
+        candidates.update(d.lineno - 1 for d in statement.decorator_list)
+        for pragma_line, lock in holds_pragmas.items():
+            if pragma_line in candidates:
+                holds.add(lock)
+        method = MethodSummary(
+            name=statement.name, line=statement.lineno, holds=frozenset(holds)
+        )
+        visitor = _MethodVisitor(method)
+        for inner in statement.body:
+            visitor.visit(inner)
+        visitor.finish()
+        summary.methods[statement.name] = method
+    return summary
+
+
+def module_summaries(tree: ast.AST, context: CheckContext) -> List[ClassSummary]:
+    """Summaries for every class in one parsed module (nested included)."""
+    found: List[ClassSummary] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            found.append(summarize_class(node, context))
+    return found
+
+
+# ----------------------------------------------------------------------
+# the ``--summaries`` entry point
+# ----------------------------------------------------------------------
+def summarize_paths(
+    paths: Sequence[str], class_filter: str = ""
+) -> List[ClassSummary]:
+    """Summaries for every class under the given files/directories.
+
+    ``class_filter`` keeps only classes whose name contains the filter
+    (case-insensitive); empty keeps everything.  Unparsable modules are
+    skipped — the lint gate reports them separately.
+    """
+    from .runner import _collect_files, _normalise  # late: avoid a cycle
+
+    summaries: List[ClassSummary] = []
+    needle = class_filter.strip().lower()
+    for filename in _collect_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {filename!r}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError:
+            continue
+        context = CheckContext(
+            path=_normalise(filename), lines=source.splitlines()
+        )
+        for summary in module_summaries(tree, context):
+            if needle and needle not in summary.name.lower():
+                continue
+            summaries.append(summary)
+    return summaries
+
+
+def render_summaries(summaries: Sequence[ClassSummary]) -> str:
+    """Human-readable dump: one block per class, one line per mutation."""
+    out: List[str] = []
+    for summary in summaries:
+        out.append(f"{summary.path}:{summary.line}: class {summary.name}")
+        if summary.guarded_by:
+            declared = ", ".join(
+                f"{field_name} -> {lock}"
+                for field_name, lock in sorted(summary.guarded_by.items())
+            )
+            out.append(f"  guarded_by: {declared}")
+        if summary.lock_fields:
+            out.append(f"  locks: {', '.join(sorted(summary.lock_fields))}")
+        for method in summary.methods.values():
+            grouped = method.mutated_fields()
+            if not grouped and not method.holds:
+                continue
+            suffix = (
+                f"  [holds {', '.join(sorted(method.holds))}]"
+                if method.holds
+                else ""
+            )
+            out.append(f"  {method.name}(){suffix}")
+            for field_name, mutations in grouped.items():
+                sites = "; ".join(m.describe() for m in mutations)
+                out.append(f"    {field_name}: {sites}")
+    if not summaries:
+        out.append("no classes matched")
+    return "\n".join(out)
+
+
+def summaries_to_json(summaries: Sequence[ClassSummary]) -> dict:
+    """Machine-readable dump (schema pinned by the fixture tests)."""
+    return {
+        "version": 1,
+        "classes": [summary.to_json_dict() for summary in summaries],
+    }
+
+
+__all__ = [
+    "COPY_CALLS",
+    "ClassSummary",
+    "ELEMENT_GETTERS",
+    "LOCK_CONSTRUCTORS",
+    "MANIFEST_NAME",
+    "MUTATOR_METHODS",
+    "MethodSummary",
+    "Mutation",
+    "is_copy_call",
+    "module_summaries",
+    "render_summaries",
+    "root_name",
+    "self_field",
+    "summaries_to_json",
+    "summarize_class",
+    "summarize_paths",
+]

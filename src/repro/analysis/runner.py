@@ -266,6 +266,15 @@ def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered rules and exit",
     )
+    parser.add_argument(
+        "--summaries",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="CLASS",
+        help="dump per-class mutation summaries instead of linting "
+        "(optionally filtered by class-name substring; honours --json)",
+    )
     return parser
 
 
@@ -277,6 +286,19 @@ def main(argv: Optional[Sequence[str]] = None, prog: str = "repro-lint") -> int:
             for rule in available_checkers():
                 checker = get_checker(rule)
                 print(f"{rule}  {checker.title}")
+            return 0
+        if args.summaries is not None:
+            from .effects import (
+                render_summaries,
+                summaries_to_json,
+                summarize_paths,
+            )
+
+            summaries = summarize_paths(args.paths, class_filter=args.summaries)
+            if args.json:
+                print(json.dumps(summaries_to_json(summaries), indent=2))
+            else:
+                print(render_summaries(summaries))
             return 0
         rules = None
         if args.select:

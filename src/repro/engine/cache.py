@@ -46,6 +46,7 @@ the instance-set scratch counters are not thread-safe.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -56,6 +57,11 @@ import threading
 import time
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from ..errors import EngineError
 from ..graph.graph import Graph
@@ -71,6 +77,8 @@ INDEX_SCHEMA = "repro-cache-index/1"
 INDEX_NAME = "index.json"
 ARTIFACT_DIR = "artifacts"
 ARTIFACT_SUFFIX = ".pkl"
+#: Cross-process ledger lock file (``fcntl.flock``); see ``_ledger_guard``.
+LOCKFILE_NAME = ".ledger.lock"
 
 #: Environment variable naming the default cache directory.
 CACHE_ENV = "REPRO_CACHE"
@@ -179,7 +187,19 @@ class PreprocessCache:
     shared instance per root, so every consumer of the same directory —
     repeated CLI solves in one process, every request of a resident
     server — shares the in-memory warm layer and the ledger lock.
+
+    Concurrency: ``_lock`` (an RLock) serializes every mutation within the
+    process, and ledger read-modify-write sections additionally take a
+    cross-process ``fcntl.flock`` on ``.ledger.lock`` (see
+    :meth:`_ledger_guard`) so multiple server replicas can share one cache
+    directory without eviction races corrupting ``index.json``.
     """
+
+    GUARDED_BY = {
+        "_memory": "_lock",
+        "_flock_depth": "_lock",
+        "_flock_handle": "_lock",
+    }
 
     def __init__(
         self,
@@ -201,6 +221,9 @@ class PreprocessCache:
         self._memory: "OrderedDict[str, Tuple[List[PreparedComponent], PreprocessStats]]" = (
             OrderedDict()
         )
+        #: Reentrancy depth / open handle of the cross-process ledger lock.
+        self._flock_depth = 0
+        self._flock_handle: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # ledger
@@ -210,6 +233,52 @@ class PreprocessCache:
 
     def _artifact_path(self, key: str) -> str:
         return os.path.join(self.root, ARTIFACT_DIR, key + ARTIFACT_SUFFIX)
+
+    def _lockfile_path(self) -> str:
+        return os.path.join(self.root, LOCKFILE_NAME)
+
+    @contextlib.contextmanager
+    def _ledger_guard(self):
+        """Hold the cross-process ledger lock for one read-modify-write.
+
+        Takes ``fcntl.flock(LOCK_EX)`` on ``.ledger.lock`` so concurrent
+        processes sharing the cache directory cannot interleave their
+        ledger rewrites (the eviction race the ROADMAP flags).  Reentrant
+        per instance via a depth counter, and strictly best-effort: on
+        platforms without ``fcntl`` and on filesystems that refuse the
+        lock, the guard degrades to a no-op and single-process behaviour
+        is exactly what it was — ``_lock`` still serializes in-process.
+        """
+        if fcntl is None:
+            yield
+            return
+        with self._lock:
+            self._flock_depth += 1
+            if self._flock_depth == 1:
+                try:
+                    os.makedirs(self.root, exist_ok=True)
+                    handle = open(self._lockfile_path(), "a+b")
+                except OSError:
+                    handle = None
+                if handle is not None:
+                    try:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                    except OSError:
+                        handle.close()
+                        handle = None
+                self._flock_handle = handle
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._flock_depth -= 1
+                if self._flock_depth == 0 and self._flock_handle is not None:
+                    try:
+                        fcntl.flock(self._flock_handle.fileno(), fcntl.LOCK_UN)
+                    except OSError:
+                        pass
+                    self._flock_handle.close()
+                    self._flock_handle = None
 
     def _read_index(self) -> Dict[str, Any]:
         """Load the ledger; a missing or corrupt ledger starts over empty."""
@@ -273,26 +342,32 @@ class PreprocessCache:
                 _atomic_write_bytes(self._artifact_path(key), payload)
             except OSError:
                 return
-            index = self._read_index()
-            now = time.time()
-            entry: Dict[str, Any] = {
-                "file": f"{ARTIFACT_DIR}/{key}{ARTIFACT_SUFFIX}",
-                "sha256": sha256,
-                "size_bytes": len(payload),
-                "created": now,
-                "last_access": now,
-                "hits": 0,
-            }
-            if meta:
-                entry["meta"] = meta
-            index["entries"][key] = entry
-            index["counters"]["stores"] += 1
-            self._evict_over_cap(index, keep=key)
-            self._write_index(index)
+            with self._ledger_guard():
+                index = self._read_index()
+                now = time.time()
+                entry: Dict[str, Any] = {
+                    "file": f"{ARTIFACT_DIR}/{key}{ARTIFACT_SUFFIX}",
+                    "sha256": sha256,
+                    "size_bytes": len(payload),
+                    "created": now,
+                    "last_access": now,
+                    "hits": 0,
+                }
+                if meta:
+                    entry["meta"] = meta
+                index["entries"][key] = entry
+                index["counters"]["stores"] += 1
+                self._evict_over_cap(index, keep=key)
+                self._write_index(index)
             self._remember(key, components, canonical)
 
+    # repro: holds(_lock)
     def _evict_over_cap(self, index: Dict[str, Any], *, keep: str) -> None:
-        """Drop least-recently-used entries until the byte cap holds."""
+        """Drop least-recently-used entries until the byte cap holds.
+
+        Runs inside the caller's ``_lock``/``_ledger_guard`` critical
+        section (see the ``holds`` pragma above).
+        """
         entries = index["entries"]
         total = sum(e.get("size_bytes", 0) for e in entries.values())
         if total <= self.max_bytes:
@@ -310,9 +385,11 @@ class PreprocessCache:
             index["counters"]["evictions"] += 1
             self._memory.pop(victim, None)
 
+    # repro: holds(_lock)
     def _remember(
         self, key: str, components: List[PreparedComponent], stats: PreprocessStats
     ) -> None:
+        """Admit one artifact to the memory LRU (caller holds ``_lock``)."""
         if self.memory_entries == 0:
             return
         memory = self._memory
@@ -352,56 +429,60 @@ class PreprocessCache:
     def _load_from_disk(
         self, key: str
     ) -> Optional[Tuple[List[PreparedComponent], PreprocessStats]]:
-        index = self._read_index()
-        entry = index["entries"].get(key)
-        if entry is None:
-            return None
-        try:
-            with open(self._artifact_path(key), "rb") as handle:
-                payload = handle.read()
-        except OSError:
-            self._drop_entry(index, key)
-            self._write_index(index)
-            return None
-        if hashlib.sha256(payload).hexdigest() != entry.get("sha256"):
-            self._drop_entry(index, key)
-            self._write_index(index)
-            return None
-        try:
-            artifact = pickle.loads(payload)
-        except Exception:
-            self._drop_entry(index, key)
-            self._write_index(index)
-            return None
-        if (
-            not isinstance(artifact, dict)
-            or artifact.get("schema") != ARTIFACT_SCHEMA
-            or artifact.get("key") != key
-        ):
-            self._drop_entry(index, key)
-            self._write_index(index)
-            return None
-        components = artifact.get("components")
-        stats = artifact.get("stats")
-        if not isinstance(components, list) or not isinstance(stats, PreprocessStats):
-            self._drop_entry(index, key)
-            self._write_index(index)
-            return None
-        return components, stats
+        with self._ledger_guard():
+            index = self._read_index()
+            entry = index["entries"].get(key)
+            if entry is None:
+                return None
+            try:
+                with open(self._artifact_path(key), "rb") as handle:
+                    payload = handle.read()
+            except OSError:
+                self._drop_entry(index, key)
+                self._write_index(index)
+                return None
+            if hashlib.sha256(payload).hexdigest() != entry.get("sha256"):
+                self._drop_entry(index, key)
+                self._write_index(index)
+                return None
+            try:
+                artifact = pickle.loads(payload)
+            except Exception:
+                self._drop_entry(index, key)
+                self._write_index(index)
+                return None
+            if (
+                not isinstance(artifact, dict)
+                or artifact.get("schema") != ARTIFACT_SCHEMA
+                or artifact.get("key") != key
+            ):
+                self._drop_entry(index, key)
+                self._write_index(index)
+                return None
+            components = artifact.get("components")
+            stats = artifact.get("stats")
+            if not isinstance(components, list) or not isinstance(
+                stats, PreprocessStats
+            ):
+                self._drop_entry(index, key)
+                self._write_index(index)
+                return None
+            return components, stats
 
     def _note_access(self, key: str, *, hit: bool) -> None:
         """Record a hit/miss in the ledger (best effort, never raises)."""
         try:
-            index = self._read_index()
-            if hit:
-                index["counters"]["hits"] += 1
-                entry = index["entries"].get(key)
-                if entry is not None:
-                    entry["hits"] = entry.get("hits", 0) + 1
-                    entry["last_access"] = time.time()
-            else:
-                index["counters"]["misses"] += 1
-            self._write_index(index)
+            with self._ledger_guard():
+                index = self._read_index()
+                if hit:
+                    index["counters"]["hits"] += 1
+                    entry = index["entries"].get(key)
+                    if entry is not None:
+                        entry["hits"] = entry.get("hits", 0) + 1
+                        entry["last_access"] = time.time()
+                else:
+                    index["counters"]["misses"] += 1
+                self._write_index(index)
         except OSError:
             pass
 
@@ -442,12 +523,13 @@ class PreprocessCache:
     def clear(self) -> int:
         """Drop every artifact and reset the ledger; return entries removed."""
         with self._lock:
-            index = self._read_index()
-            removed = len(index["entries"])
-            for key in list(index["entries"]):
-                self._drop_entry(index, key)
-            self._memory.clear()
-            self._write_index(_fresh_index())
+            with self._ledger_guard():
+                index = self._read_index()
+                removed = len(index["entries"])
+                for key in list(index["entries"]):
+                    self._drop_entry(index, key)
+                self._memory.clear()
+                self._write_index(_fresh_index())
         return removed
 
 

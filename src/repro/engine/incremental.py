@@ -37,14 +37,20 @@ structural facts:
    its induced subgraph — and hence everything derived from it — is
    identical to what a cold run would build.
 
-Sessions are not thread-safe; the solve service serialises access behind
-its solve lock.
+Each session carries its own reentrant lock: :meth:`IncrementalSession.
+apply_delta` and :meth:`IncrementalSession.solve` serialise against each
+other per session, with the lock discipline declared in the class's
+``GUARDED_BY`` manifest and machine-checked by repro-lint rule CC01.  The
+solve service still serialises *across* sessions behind its solve lock
+(two sessions may share one graph object); the per-session lock is the
+first concrete step toward retiring that global lock.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import threading
 import time
 from fractions import Fraction
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
@@ -240,6 +246,19 @@ class IncrementalSession:
         are bit-identical, so solves may still request any kernel.
     """
 
+    GUARDED_BY = {
+        "_states": "_lock",
+        "_results": "_lock",
+        "_instances": "_lock",
+        "_components": "_lock",
+        "_delta_log": "_lock",
+        "_graph_epoch": "_lock",
+        "_last_delta_stats": "_lock",
+        "_last_solve_stats": "_lock",
+        "_solved_once": "_lock",
+        "_cold_reference_seconds": "_lock",
+    }
+
     def __init__(
         self,
         graph: Graph,
@@ -255,6 +274,8 @@ class IncrementalSession:
         self._graph = graph.copy() if copy_graph else graph
         self._pattern = pattern
         self._kernel = resolve_kernel(kernel).name
+        # Reentrant so a future composite operation can nest apply/solve.
+        self._lock = threading.RLock()
         self._states: Dict[FrozenSet[Vertex], _ComponentState] = {}
         self._results: Dict[Tuple[_ConfigKey, FrozenSet[Vertex]], LhCDSResult] = {}
         self._delta_log: List[GraphDelta] = []
@@ -325,67 +346,69 @@ class IncrementalSession:
         graph, then repairs every session on it) and only the session state
         is updated.  Returns per-delta statistics.
         """
-        self._check_epoch(expect_applied=already_applied, delta=delta)
-        tick = time.perf_counter()
-        if not already_applied:
-            self._graph.apply_delta(delta)
-        self._graph_epoch = self._graph.delta_epoch
-        touched = delta.touched_vertices
+        with self._lock:
+            self._check_epoch(expect_applied=already_applied, delta=delta)
+            tick = time.perf_counter()
+            if not already_applied:
+                self._graph.apply_delta(delta)
+            self._graph_epoch = self._graph.delta_epoch
+            touched = delta.touched_vertices
 
-        invalidated = [key for key in self._states if key & touched]
-        # The rebuild region covers the frontier AND every vertex of an
-        # invalidated component: removing a vertex can strand a remainder
-        # component that contains no touched vertex but still needs fresh
-        # state (its old component's state is gone).
-        region: Set[Vertex] = set(touched)
-        for key in invalidated:
-            region |= key
-            del self._states[key]
-        stale = [entry for entry in self._results if entry[1] & touched]
-        for entry in stale:
-            del self._results[entry]
+            invalidated = [key for key in self._states if key & touched]
+            # The rebuild region covers the frontier AND every vertex of an
+            # invalidated component: removing a vertex can strand a remainder
+            # component that contains no touched vertex but still needs fresh
+            # state (its old component's state is gone).
+            region: Set[Vertex] = set(touched)
+            for key in invalidated:
+                region |= key
+                del self._states[key]
+            stale = [entry for entry in self._results if entry[1] & touched]
+            for entry in stale:
+                del self._results[entry]
 
-        self._components = connected_components(self._graph)
-        new_rows: List[Tuple[Vertex, ...]] = []
-        reenumerated = 0
-        for comp in self._components:
-            key = frozenset(comp)
-            if key in self._states or not (key & region):
-                # Untouched: either an active component whose state carried
-                # over, or an instance-free component that stays instance-free
-                # (a component disjoint from the region is exactly an old
-                # untouched component — see the module contract).
-                continue
-            reenumerated += 1
-            subgraph = self._graph.induced_subgraph(comp)
-            local = self._pattern.instances(subgraph, kernel=self._kernel)
-            for idx in local.indices_incident(touched):
-                new_rows.append(local.instances[idx])
-            if local.num_instances:
-                self._states[key] = self._build_state(subgraph, local)
+            self._components = connected_components(self._graph)
+            new_rows: List[Tuple[Vertex, ...]] = []
+            reenumerated = 0
+            for comp in self._components:
+                key = frozenset(comp)
+                if key in self._states or not (key & region):
+                    # Untouched: either an active component whose state
+                    # carried over, or an instance-free component that stays
+                    # instance-free (a component disjoint from the region is
+                    # exactly an old untouched component — see the module
+                    # contract).
+                    continue
+                reenumerated += 1
+                subgraph = self._graph.induced_subgraph(comp)
+                local = self._pattern.instances(subgraph, kernel=self._kernel)
+                for idx in local.indices_incident(touched):
+                    new_rows.append(local.instances[idx])
+                if local.num_instances:
+                    self._states[key] = self._build_state(subgraph, local)
 
-        self._instances, dropped, appended = self._instances.apply_delta(
-            touched, new_rows
-        )
-        self._delta_log.append(delta)
-        apply_seconds = time.perf_counter() - tick
-        stats = DeltaStats(
-            epoch=len(self._delta_log),
-            vertices_added=len(delta.add_vertices),
-            vertices_removed=len(delta.remove_vertices),
-            edges_added=len(delta.add_edges),
-            edges_removed=len(delta.remove_edges),
-            touched_vertices=len(touched),
-            components_invalidated=len(invalidated),
-            components_reenumerated=reenumerated,
-            components_reused=len(self._components) - reenumerated,
-            instances_dropped=dropped,
-            instances_reenumerated=appended,
-            apply_seconds=apply_seconds,
-            seconds_saved_estimate=max(self._build_seconds - apply_seconds, 0),
-        )
-        self._last_delta_stats = stats
-        return stats
+            self._instances, dropped, appended = self._instances.apply_delta(
+                touched, new_rows
+            )
+            self._delta_log.append(delta)
+            apply_seconds = time.perf_counter() - tick
+            stats = DeltaStats(
+                epoch=len(self._delta_log),
+                vertices_added=len(delta.add_vertices),
+                vertices_removed=len(delta.remove_vertices),
+                edges_added=len(delta.add_edges),
+                edges_removed=len(delta.remove_edges),
+                touched_vertices=len(touched),
+                components_invalidated=len(invalidated),
+                components_reenumerated=reenumerated,
+                components_reused=len(self._components) - reenumerated,
+                instances_dropped=dropped,
+                instances_reenumerated=appended,
+                apply_seconds=apply_seconds,
+                seconds_saved_estimate=max(self._build_seconds - apply_seconds, 0),
+            )
+            self._last_delta_stats = stats
+            return stats
 
     # ------------------------------------------------------------------
     # solving
@@ -402,37 +425,38 @@ class IncrementalSession:
                 raise EngineError(
                     f"the session pins {pinned!r}; open a new session to change it"
                 )
-        self._check_epoch(expect_applied=False, delta=None)
-        request, spec = prepare_request(
-            SolveRequest(graph=self._graph, pattern=self._pattern, **options)
-        )
-        start = time.perf_counter()
-        components, stats = self._prepared(
-            request,
-            compute_bounds=spec.exact or spec.internal_prune,
-            prune_stats=request.prune_stats and not spec.internal_prune,
-        )
-        adapter = _SessionResultCache(self._results, self._config_key(request))
-        report = solve_prepared(
-            request, components, stats, result_cache=adapter, start=start
-        )
-        solve_seconds = time.perf_counter() - start
-        if not self._solved_once:
-            self._solved_once = True
-            self._cold_reference_seconds = self._build_seconds + solve_seconds
-            saved: float = 0.0
-        else:
-            saved = max(self._cold_reference_seconds - solve_seconds, 0)
-        self._last_solve_stats = IncrementalSolveStats(
-            epoch=len(self._delta_log),
-            components_total=len(components),
-            components_reused=adapter.hits,
-            components_solved=adapter.puts,
-            solve_seconds=solve_seconds,
-            cold_reference_seconds=self._cold_reference_seconds,
-            seconds_saved_estimate=saved,
-        )
-        return report
+        with self._lock:
+            self._check_epoch(expect_applied=False, delta=None)
+            request, spec = prepare_request(
+                SolveRequest(graph=self._graph, pattern=self._pattern, **options)
+            )
+            start = time.perf_counter()
+            components, stats = self._prepared(
+                request,
+                compute_bounds=spec.exact or spec.internal_prune,
+                prune_stats=request.prune_stats and not spec.internal_prune,
+            )
+            adapter = _SessionResultCache(self._results, self._config_key(request))
+            report = solve_prepared(
+                request, components, stats, result_cache=adapter, start=start
+            )
+            solve_seconds = time.perf_counter() - start
+            if not self._solved_once:
+                self._solved_once = True
+                self._cold_reference_seconds = self._build_seconds + solve_seconds
+                saved: float = 0.0
+            else:
+                saved = max(self._cold_reference_seconds - solve_seconds, 0)
+            self._last_solve_stats = IncrementalSolveStats(
+                epoch=len(self._delta_log),
+                components_total=len(components),
+                components_reused=adapter.hits,
+                components_solved=adapter.puts,
+                solve_seconds=solve_seconds,
+                cold_reference_seconds=self._cold_reference_seconds,
+                seconds_saved_estimate=saved,
+            )
+            return report
 
     # ------------------------------------------------------------------
     # internals

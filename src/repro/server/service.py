@@ -135,7 +135,21 @@ def validate_keys(payload: Any, accepted: frozenset, *, what: str = "request") -
 
 
 class SolveService:
-    """Named graphs plus warm preprocess/session state behind a solve API."""
+    """Named graphs plus warm preprocess/session state behind a solve API.
+
+    Lock ordering: ``_solve_lock`` outer, ``_registry_lock`` inner — every
+    method that needs both acquires them in that order, so the pair cannot
+    deadlock.  The :data:`GUARDED_BY` manifest below is machine-checked by
+    repro-lint rule CC01: mutating a listed field outside a
+    ``with self.<lock>:`` block fails the lint gate.
+    """
+
+    GUARDED_BY = {
+        "_graphs": "_registry_lock",
+        "_records": "_registry_lock",
+        "_counters": "_registry_lock",
+        "_sessions": "_solve_lock",
+    }
 
     def __init__(self, cache_dir: Optional[str] = None) -> None:
         self._graphs: Dict[str, Graph] = {}
@@ -143,7 +157,6 @@ class SolveService:
         self._registry_lock = threading.Lock()
         self._solve_lock = threading.Lock()
         #: Live incremental sessions, keyed (graph name, pattern identity).
-        #: Mutated only under the solve lock.
         self._sessions: Dict[Tuple[str, str], IncrementalSession] = {}
         self._counters: Dict[str, int] = {"solves": 0, "deltas": 0, "errors": 0}
         self._started = time.time()
@@ -193,25 +206,32 @@ class SolveService:
             except (ReproError, TypeError, ValueError) as exc:
                 raise ServiceError(f"bad edge list: {exc}") from exc
             source = "inline"
-        with self._registry_lock:
-            if name in self._graphs and not replace:
-                raise ServiceError(f"graph {name!r} is already registered", status=409)
-            replacing = name in self._graphs
-            self._graphs[name] = graph
-            self._records[name] = {
-                "name": name,
-                "source": source,
-                "vertices": graph.num_vertices,
-                "edges": graph.num_edges,
-                "registered_at": time.time(),
-                "solves": 0,
-                "deltas": 0,
-            }
-            record = dict(self._records[name])
-        if replacing:
-            # Sessions hold the *old* graph object; a replacement starts the
-            # delta history over, so their warm state must not survive.
-            with self._solve_lock:
+        # The registry swap and the session purge must be one atomic step
+        # under the solve lock: if the swap happened first, a concurrent
+        # session solve could pair the *new* registry graph with a session
+        # still bound to the *old* graph object and serve stale results.
+        with self._solve_lock:
+            with self._registry_lock:
+                if name in self._graphs and not replace:
+                    raise ServiceError(
+                        f"graph {name!r} is already registered", status=409
+                    )
+                replacing = name in self._graphs
+                self._graphs[name] = graph
+                self._records[name] = {
+                    "name": name,
+                    "source": source,
+                    "vertices": graph.num_vertices,
+                    "edges": graph.num_edges,
+                    "registered_at": time.time(),
+                    "solves": 0,
+                    "deltas": 0,
+                }
+                record = dict(self._records[name])
+            if replacing:
+                # Sessions hold the *old* graph object; a replacement starts
+                # the delta history over, so their warm state must not
+                # survive.
                 for key in [k for k in self._sessions if k[0] == name]:
                     del self._sessions[key]
         return record

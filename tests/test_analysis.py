@@ -492,3 +492,611 @@ class TestRepoGate:
         assert pragmad, "expected pragma-suppressed findings in the tree"
         assert all(f.reason for f in pragmad)
         assert not [f for f in report.findings if f.rule == "PRAGMA"]
+
+
+# Paths that put a fixture inside the CC02 executor-boundary scope.
+EXECUTORS = "src/repro/engine/executors/fixture.py"
+
+
+class TestEffects:
+    """Unit tests for the mutation-summary engine itself."""
+
+    def summarize(self, source, path=ANYREPRO):
+        import ast as _ast
+
+        from repro.analysis.base import CheckContext
+        from repro.analysis.effects import module_summaries
+
+        text = textwrap.dedent(source)
+        tree = _ast.parse(text)
+        return module_summaries(
+            tree, CheckContext(path=path, lines=text.splitlines())
+        )
+
+    def test_direct_and_tuple_writes(self):
+        (summary,) = self.summarize(
+            """
+            class Box:
+                def __init__(self):
+                    self._a = 0
+                def move(self, f):
+                    self._a, rest = f()
+                def drop(self):
+                    del self._a
+            """
+        )
+        assert {m.kind for m in summary.methods["move"].mutations} == {"assign"}
+        assert {m.kind for m in summary.methods["drop"].mutations} == {"delete"}
+        assert summary.fields >= {"_a"}
+
+    def test_mutator_calls_and_subscripts(self):
+        (summary,) = self.summarize(
+            """
+            class Box:
+                def put(self, k, v):
+                    self._items[k] = v
+                    self._items.update(v)
+                    self._meta.rows.append(v)
+            """
+        )
+        mutated = summary.methods["put"].mutated_fields()
+        assert set(mutated) == {"_items", "_meta"}
+        kinds = [m.kind for m in mutated["_items"]]
+        assert kinds == ["subscript", "call"]
+
+    def test_lock_context_and_nested_defs(self):
+        (summary,) = self.summarize(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def locked(self):
+                    with self._lock:
+                        self._n = 1
+                def deferred(self):
+                    with self._lock:
+                        def task():
+                            self._n = 2
+                        return task
+            """
+        )
+        assert summary.lock_fields == {"_lock"}
+        (locked,) = summary.methods["locked"].mutations
+        assert locked.locks == frozenset({"_lock"})
+        # The nested callable runs after the with-block exits: no locks.
+        (deferred,) = summary.methods["deferred"].mutations
+        assert deferred.locks == frozenset()
+
+    def test_alias_tracking_kill_and_launder(self):
+        (summary,) = self.summarize(
+            """
+            class Box:
+                def tracked(self, k):
+                    rec = self._recs.get(k)
+                    rec["n"] += 1
+                def killed(self, k):
+                    rec = self._recs.get(k)
+                    rec = k
+                    rec["n"] += 1
+                def laundered(self):
+                    rec = dict(self._recs)
+                    rec["n"] = 1
+            """
+        )
+        (tracked,) = summary.methods["tracked"].mutations
+        assert (tracked.field, tracked.via) == ("_recs", "rec")
+        assert summary.methods["killed"].mutations == []
+        assert summary.methods["laundered"].mutations == []
+
+    def test_holds_pragma_and_manifest(self):
+        (summary,) = self.summarize(
+            """
+            import threading
+
+            class Box:
+                GUARDED_BY = {"_items": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._items = {}
+
+                # repro: holds(_lock)
+                def helper(self):
+                    self._items.clear()
+            """
+        )
+        assert summary.guarded_by == {"_items": "_lock"}
+        assert summary.manifest_error is None
+        (mutation,) = summary.methods["helper"].mutations
+        assert mutation.locks == frozenset({"_lock"})
+
+    def test_non_literal_manifest_is_an_error(self):
+        (summary,) = self.summarize(
+            """
+            class Box:
+                GUARDED_BY = {"_items": LOCK_NAME}
+            """
+        )
+        assert summary.manifest_error is not None
+
+    def test_guarded_by_pragma_attaches_to_assignment(self):
+        (summary,) = self.summarize(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    # repro: guarded-by(_lock)
+                    self._items = {}
+            """
+        )
+        assert summary.guarded_by == {"_items": "_lock"}
+
+
+class TestLockDiscipline:
+    def test_catches_unlocked_mutation(self):
+        findings = lint(
+            """
+            import threading
+
+            class Widget:
+                GUARDED_BY = {"_items": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    self._items.append(x)
+            """,
+            path=ANYREPRO,
+            rules=["CC01"],
+        )
+        assert [f.rule for f in active(findings)] == ["CC01"]
+        assert "outside 'with self._lock:'" in findings[0].message
+
+    def test_locked_mutation_is_clean(self):
+        findings = lint(
+            """
+            import threading
+
+            class Widget:
+                GUARDED_BY = {"_items": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+            """,
+            path=ANYREPRO,
+            rules=["CC01"],
+        )
+        assert active(findings) == []
+
+    def test_catches_alias_mutation_outside_lock(self):
+        findings = lint(
+            """
+            import threading
+
+            class Widget:
+                GUARDED_BY = {"_records": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._records = {}
+
+                def bump(self, name):
+                    record = self._records.get(name)
+                    record["n"] += 1
+            """,
+            path=ANYREPRO,
+            rules=["CC01"],
+        )
+        assert [f.rule for f in active(findings)] == ["CC01"]
+        assert "alias 'record'" in findings[0].message
+
+    def test_holds_pragma_satisfies_the_guard(self):
+        findings = lint(
+            """
+            import threading
+
+            class Widget:
+                GUARDED_BY = {"_items": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._admit(x)
+
+                # repro: holds(_lock)
+                def _admit(self, x):
+                    self._items.append(x)
+            """,
+            path=ANYREPRO,
+            rules=["CC01"],
+        )
+        assert active(findings) == []
+
+    def test_guard_through_non_lock_is_a_finding(self):
+        findings = lint(
+            """
+            class Widget:
+                GUARDED_BY = {"_items": "_mutex"}
+
+                def __init__(self):
+                    self._items = []
+
+                def add(self, x):
+                    self._items.append(x)
+            """,
+            path=ANYREPRO,
+            rules=["CC01"],
+        )
+        assert [f.rule for f in active(findings)] == ["CC01"]
+        assert "not a lock field" in findings[0].message
+
+    def test_unknown_field_and_stale_guard_are_findings(self):
+        findings = lint(
+            """
+            import threading
+
+            class Widget:
+                GUARDED_BY = {"_ghost": "_lock", "_stale": "_lock"}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._stale = 0
+            """,
+            path=ANYREPRO,
+            rules=["CC01"],
+        )
+        messages = sorted(f.message for f in active(findings))
+        assert len(messages) == 2
+        joined = "\n".join(messages)
+        assert "unknown field '_ghost'" in joined
+        assert "stale guard" in joined
+
+    def test_lock_without_declared_discipline_is_a_finding(self):
+        findings = lint(
+            """
+            import threading
+
+            class Widget:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """,
+            path=ANYREPRO,
+            rules=["CC01"],
+        )
+        assert [f.rule for f in active(findings)] == ["CC01"]
+        assert "guards nothing declared" in findings[0].message
+
+    def test_non_literal_manifest_is_a_finding(self):
+        findings = lint(
+            """
+            class Widget:
+                GUARDED_BY = {"_items": LOCK}
+            """,
+            path=ANYREPRO,
+            rules=["CC01"],
+        )
+        assert [f.rule for f in active(findings)] == ["CC01"]
+
+    def test_out_of_scope_module_is_ignored(self):
+        findings = lint(
+            """
+            import threading
+
+            class Widget:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """,
+            path=OUTSIDE,
+            rules=["CC01"],
+        )
+        assert active(findings) == []
+
+
+class TestExecutorCapture:
+    def test_catches_module_global_mutation(self):
+        findings = lint(
+            """
+            COUNTERS = {}
+
+            def task(key):
+                COUNTERS[key] = 1
+            """,
+            path=EXECUTORS,
+            rules=["CC02"],
+        )
+        assert [f.rule for f in active(findings)] == ["CC02"]
+        assert "module global 'COUNTERS'" in findings[0].message
+
+    def test_registration_functions_are_carved_out(self):
+        findings = lint(
+            """
+            _REGISTRY = {}
+
+            def register_executor(name, executor_class):
+                _REGISTRY[name] = executor_class
+
+            def unregister_executor(name):
+                del _REGISTRY[name]
+            """,
+            path=EXECUTORS,
+            rules=["CC02"],
+        )
+        assert active(findings) == []
+
+    def test_catches_global_rebind(self):
+        findings = lint(
+            """
+            LIMIT = 3
+
+            def bump():
+                global LIMIT
+                LIMIT += 1
+            """,
+            path=EXECUTORS,
+            rules=["CC02"],
+        )
+        assert [f.rule for f in active(findings)] == ["CC02"]
+
+    def test_catches_closure_mutation(self):
+        findings = lint(
+            """
+            def make_task():
+                acc = []
+
+                def task(x):
+                    acc.append(x)
+
+                return task
+            """,
+            path=EXECUTORS,
+            rules=["CC02"],
+        )
+        assert [f.rule for f in active(findings)] == ["CC02"]
+        assert "closed-over name 'acc'" in findings[0].message
+
+    def test_catches_nonlocal_write(self):
+        findings = lint(
+            """
+            def outer():
+                n = 0
+
+                def inner():
+                    nonlocal n
+                    n += 1
+
+                return inner
+            """,
+            path=EXECUTORS,
+            rules=["CC02"],
+        )
+        assert [f.rule for f in active(findings)] == ["CC02"]
+
+    def test_local_state_is_fine(self):
+        findings = lint(
+            """
+            def task(payload):
+                results = []
+                for item in payload:
+                    results.append(item)
+                return results
+            """,
+            path=EXECUTORS,
+            rules=["CC02"],
+        )
+        assert active(findings) == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        findings = lint(
+            "COUNTERS = {}\ndef task(k):\n    COUNTERS[k] = 1\n",
+            path=ANYREPRO,
+            rules=["CC02"],
+        )
+        assert active(findings) == []
+
+
+class TestWarmArtifact:
+    def test_provider_must_copy_on_fetch(self):
+        findings = lint(
+            """
+            class FooCache:
+                def fetch(self, key):
+                    cached = self._memory.get(key)
+                    return cached
+            """,
+            path=ENGINE,
+            rules=["MU01"],
+        )
+        assert [f.rule for f in active(findings)] == ["MU01"]
+        assert "without copying" in findings[0].message
+
+    def test_provider_copy_returns_are_clean(self):
+        findings = lint(
+            """
+            import dataclasses
+
+            class FooCache:
+                def fetch(self, key):
+                    cached = self._memory.get(key)
+                    if cached is None:
+                        return None
+                    components, stats = cached
+                    return list(components), dataclasses.replace(stats), STATE_HIT
+            """,
+            path=ENGINE,
+            rules=["MU01"],
+        )
+        assert active(findings) == []
+
+    def test_consumer_mutation_of_store_read_is_caught(self):
+        findings = lint(
+            """
+            class Session:
+                def solve(self, key):
+                    state = self._states.get(key)
+                    state.bounds = None
+            """,
+            path=ENGINE,
+            rules=["MU01"],
+        )
+        assert [f.rule for f in active(findings)] == ["MU01"]
+        assert "self._states" in findings[0].message
+
+    def test_consumer_mutator_call_via_loop_is_caught(self):
+        findings = lint(
+            """
+            class Session:
+                def repair(self):
+                    for comp in self._components:
+                        comp.instances.clear()
+            """,
+            path=ENGINE,
+            rules=["MU01"],
+        )
+        assert [f.rule for f in active(findings)] == ["MU01"]
+
+    def test_consumer_laundering_through_copy_is_clean(self):
+        findings = lint(
+            """
+            class Session:
+                def solve(self, key):
+                    state = list(self._states[key])
+                    state.append(1)
+                    fresh = self._states[key].copy()
+                    fresh.update(x=1)
+            """,
+            path=ENGINE,
+            rules=["MU01"],
+        )
+        assert active(findings) == []
+
+    def test_sessions_store_is_mutable_by_design(self):
+        findings = lint(
+            """
+            class Service:
+                def tick(self, key):
+                    session = self._sessions.get(key)
+                    session.touch = 1
+            """,
+            path=ENGINE,
+            rules=["MU01"],
+        )
+        assert active(findings) == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        findings = lint(
+            """
+            class Session:
+                def solve(self, key):
+                    state = self._states.get(key)
+                    state.bounds = None
+            """,
+            path=OUTSIDE,
+            rules=["MU01"],
+        )
+        assert active(findings) == []
+
+
+class TestSummariesCli:
+    FIXTURE = textwrap.dedent(
+        """
+        import threading
+
+        class WarmThing:
+            GUARDED_BY = {"_items": "_lock"}
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, x):
+                with self._lock:
+                    self._items.append(x)
+        """
+    )
+
+    def write_fixture(self, tmp_path):
+        module = tmp_path / "src" / "repro" / "engine" / "fixture.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(self.FIXTURE)
+        return module
+
+    def test_human_dump(self, tmp_path, monkeypatch, capsys):
+        module = self.write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main([str(module), "--summaries"]) == 0
+        out = capsys.readouterr().out
+        assert "class WarmThing" in out
+        assert "_items -> _lock" in out
+        assert "under _lock" in out
+
+    def test_class_filter(self, tmp_path, monkeypatch, capsys):
+        module = self.write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main([str(module), "--summaries", "nosuchclass"]) == 0
+        assert "no classes matched" in capsys.readouterr().out
+
+    def test_json_dump(self, tmp_path, monkeypatch, capsys):
+        module = self.write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main([str(module), "--summaries", "warm", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        (klass,) = payload["classes"]
+        assert klass["class"] == "WarmThing"
+        assert klass["guarded_by"] == {"_items": "_lock"}
+        add = [m for m in klass["methods"] if m["name"] == "add"][0]
+        (mutation,) = add["mutations"]
+        assert mutation["field"] == "_items"
+        assert mutation["locks"] == ["_lock"]
+
+    def test_seven_rules_registered(self):
+        assert {
+            "EX01",
+            "DT01",
+            "PK01",
+            "RG01",
+            "CC01",
+            "CC02",
+            "MU01",
+        } <= set(available_checkers())
+
+    def test_manifest_classes_carry_validated_guards(self, monkeypatch):
+        """The three concurrency-critical classes declare real manifests."""
+        import ast as _ast
+
+        from repro.analysis.base import CheckContext
+        from repro.analysis.effects import module_summaries
+
+        expected = {
+            "SolveService": REPO_ROOT / "src" / "repro" / "server" / "service.py",
+            "PreprocessCache": REPO_ROOT / "src" / "repro" / "engine" / "cache.py",
+            "IncrementalSession": (
+                REPO_ROOT / "src" / "repro" / "engine" / "incremental.py"
+            ),
+        }
+        for class_name, path in expected.items():
+            source = path.read_text()
+            summaries = module_summaries(
+                _ast.parse(source),
+                CheckContext(path=str(path), lines=source.splitlines()),
+            )
+            (summary,) = [s for s in summaries if s.name == class_name]
+            assert summary.guarded_by, class_name
+            assert summary.manifest_error is None
+            for field_name, lock in summary.guarded_by.items():
+                assert field_name in summary.fields, (class_name, field_name)
+                assert lock in summary.lock_fields, (class_name, lock)

@@ -506,3 +506,91 @@ class TestDeltaPoisoningRegression:
         assert after_stats.cache_state == STATE_MISS
         assert after_stats.cache_key != cold_stats.cache_key
         assert after_stats.num_vertices == graph.num_vertices
+
+
+class TestCrossProcessLedgerLock:
+    """The ``fcntl.flock`` guard around ledger read-modify-write sections.
+
+    flock locks are per open-file-description, so two *distinct*
+    ``PreprocessCache`` instances on one root contend for real even inside
+    a single process — which is exactly how the tests exercise the
+    replica-sharing scenario without spawning processes.
+    """
+
+    def _artifact(self):
+        request = SolveRequest(graph=complete_graph(6), pattern=3, k=1)
+        from repro.engine import cold_preprocess
+
+        return cold_preprocess(request)
+
+    def test_lock_file_created_and_guard_reentrant(self, tmp_path):
+        from repro.engine.cache import LOCKFILE_NAME
+        import repro.engine.cache as cache_module
+
+        if cache_module.fcntl is None:  # pragma: no cover - POSIX-only CI
+            pytest.skip("fcntl unavailable on this platform")
+        root = str(tmp_path / "cache")
+        cache = PreprocessCache(root, memory_entries=0)
+        components, stats = self._artifact()
+        with cache._ledger_guard():
+            with cache._ledger_guard():  # reentrant: depth counter, no deadlock
+                cache.store("k", components, stats)
+        assert os.path.isfile(os.path.join(root, LOCKFILE_NAME))
+        assert cache._flock_depth == 0
+        assert cache._flock_handle is None
+
+    def test_concurrent_replicas_keep_ledger_consistent(self, tmp_path):
+        import threading
+
+        root = str(tmp_path / "cache")
+        components, stats = self._artifact()
+        # Two independent instances = two ledger writers, like two server
+        # replicas sharing one cache directory.
+        replicas = [
+            PreprocessCache(root, memory_entries=0) for _ in range(2)
+        ]
+        errors = []
+        n_threads, n_keys = 4, 6
+
+        def worker(worker_id):
+            try:
+                replica = replicas[worker_id % len(replicas)]
+                for i in range(n_keys):
+                    key = f"w{worker_id}-k{i}"
+                    replica.store(key, components, stats)
+                    assert replica.fetch(key) is not None
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        ledger = replicas[0]
+        counters = ledger.counters()
+        # Every store and every hit made it into the ledger: no lost
+        # read-modify-write, no torn index.json.
+        assert counters["stores"] == n_threads * n_keys
+        assert counters["hits"] == n_threads * n_keys
+        assert counters["misses"] == 0
+        assert len(ledger.entries()) == n_threads * n_keys
+
+    def test_without_fcntl_guard_is_noop(self, tmp_path, monkeypatch):
+        import repro.engine.cache as cache_module
+        from repro.engine.cache import LOCKFILE_NAME
+
+        monkeypatch.setattr(cache_module, "fcntl", None)
+        root = str(tmp_path / "cache")
+        cache = PreprocessCache(root, memory_entries=2)
+        components, stats = self._artifact()
+        cache.store("k", components, stats)
+        fetched = cache.fetch("k")
+        assert fetched is not None
+        assert fetched[2] == STATE_HIT_MEMORY
+        assert cache.counters()["stores"] == 1
+        # Single-process behaviour is untouched; no lock file appears.
+        assert not os.path.exists(os.path.join(root, LOCKFILE_NAME))

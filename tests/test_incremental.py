@@ -265,3 +265,81 @@ class TestPruneStatsParity:
         warm = session.solve(**options)
         assert report_signature(warm) == cold_signature(session.graph, **options)
         assert warm.preprocessing.num_prunable_vertices >= 0
+
+
+class TestSessionLock:
+    """Each session carries its own reentrant lock; concurrent apply/solve
+    calls serialize per session and stay bit-identical to the cold solve
+    of whatever graph content they observe."""
+
+    def test_concurrent_solves_match_cold_signature(self):
+        import threading
+
+        graph = multi_component_graph()
+        session = IncrementalSession(graph, 3, copy_graph=True)
+        expected = cold_signature(graph, k=1)
+        results, errors = [], []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    results.append(report_signature(session.solve(k=1)))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert results and set(results) == {expected}
+
+    def test_interleaved_deltas_and_solves_stay_consistent(self):
+        import threading
+
+        graph = complete_graph(6)
+        session = IncrementalSession(graph, 3, copy_graph=True)
+        session.solve(k=1)
+        # The two graph states the toggling delta flips between.
+        without = graph.copy()
+        without.apply_delta(GraphDelta(remove_edges=((0, 1),)))
+        allowed = {cold_signature(graph, k=1), cold_signature(without, k=1)}
+        errors = []
+        stop = threading.Event()
+
+        def toggler():
+            try:
+                removed = False
+                while not stop.is_set():
+                    if removed:
+                        session.apply_delta(GraphDelta(add_edges=((0, 1),)))
+                    else:
+                        session.apply_delta(GraphDelta(remove_edges=((0, 1),)))
+                    removed = not removed
+                if removed:
+                    session.apply_delta(GraphDelta(add_edges=((0, 1),)))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def solver():
+            try:
+                for _ in range(10):
+                    signature = report_signature(session.solve(k=1))
+                    assert signature in allowed
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        toggle = threading.Thread(target=toggler)
+        solvers = [threading.Thread(target=solver) for _ in range(3)]
+        toggle.start()
+        for thread in solvers:
+            thread.start()
+        for thread in solvers:
+            thread.join()
+        stop.set()
+        toggle.join(timeout=10)
+        assert errors == []
+        # After the toggler restored the edge, the session is back on the
+        # complete graph and still bit-identical to the cold solve.
+        assert report_signature(session.solve(k=1)) == cold_signature(graph, k=1)

@@ -574,3 +574,42 @@ class TestDeltasHTTP:
             base, "POST", "/v1/graphs/my%20graph/solve", {"h": 3, "k": 1}
         )
         assert status == 200 and body["ok"]
+
+
+class TestAtomicReplace:
+    """Regression for the register/replace vs session-solve race.
+
+    The registry swap and the session purge are one atomic step under the
+    solve lock: a replace must wait for an in-flight session solve, and
+    once it returns no stale session may pair the old graph with the new
+    registry entry.
+    """
+
+    def test_replace_blocks_on_solve_lock_then_purges_sessions(self, service):
+        service.register_graph("g", edges=[[0, 1], [1, 2], [2, 0]])
+        service.solve_incremental("g", {"pattern": "triangle", "k": 1})
+        assert [s["graph"] for s in service.sessions()] == ["g"]
+
+        done = threading.Event()
+
+        def replace():
+            service.register_graph(
+                "g", edges=[[0, 1], [1, 2], [2, 3], [3, 0]], replace=True
+            )
+            done.set()
+
+        # Simulate an in-flight session solve by holding the solve lock.
+        with service._solve_lock:
+            thread = threading.Thread(target=replace)
+            thread.start()
+            assert not done.wait(0.2), "replace must block behind the solve lock"
+        thread.join(timeout=5)
+        assert done.is_set()
+        # The stale session (bound to the triangle graph) is gone...
+        assert service.sessions() == []
+        # ...and a fresh session solve sees the 4-cycle, not the triangle.
+        report = service.solve_incremental("g", {"pattern": "edge", "k": 1})
+        record = next(g for g in service.graphs() if g["name"] == "g")
+        assert record["vertices"] == 4
+        assert record["edges"] == 4
+        assert report["graph"] == "g"

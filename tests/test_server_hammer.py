@@ -1,0 +1,198 @@
+"""Multi-client hammer test: one ``ThreadingHTTPServer``, eight concurrent
+clients mixing ``/v1/solve`` against a static graph with deltas and session
+solves against a mutating graph.
+
+The contract under fire is the same bit-identity rule the rest of the suite
+enforces serially: every served report must be byte-identical (modulo
+wall-clock and cache transport fields) to a cold in-process solve of the
+graph content the server observed — concurrency may reorder responses but
+never corrupt one.  Afterwards the preprocess-cache ledger counters must
+add up exactly to the traffic sent."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from helpers import multi_component_graph
+
+from repro.engine import SolveRequest, json_report_signature, solve
+from repro.graph import GraphDelta, complete_graph
+from repro.server import create_server
+
+SOLVE_CLIENTS = 6
+DELTA_CLIENTS = 2
+SOLVES_PER_CLIENT = 8
+DELTA_ROUNDS = 6
+TOGGLED_EDGE = [0, 1]
+
+
+def _request(base, method, path, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def http_server(tmp_path):
+    server, service = create_server(port=0, cache_dir=str(tmp_path / "cache"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", service
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+def _cold_signature(graph, **options):
+    report = solve(SolveRequest(graph=graph.copy(), pattern=3, **options))
+    return json_report_signature(report.to_json_dict())
+
+
+class TestHammer:
+    def test_eight_clients_bit_identical_under_fire(self, http_server):
+        base, service = http_server
+
+        static_graph = multi_component_graph()
+        status, _body = _request(
+            base,
+            "POST",
+            "/v1/graphs",
+            {"name": "static", "edges": [[u, v] for u, v in static_graph.edges()]},
+        )
+        assert status == 201
+
+        # The mutable graph toggles between exactly two known states: the
+        # complete graph on 6 vertices (state A) and the same graph with
+        # one edge removed (state B).
+        state_a = complete_graph(6)
+        state_b = state_a.copy()
+        state_b.apply_delta(GraphDelta(remove_edges=((TOGGLED_EDGE[0], TOGGLED_EDGE[1]),)))
+        status, _body = _request(
+            base,
+            "POST",
+            "/v1/graphs",
+            {"name": "mutable", "edges": [[u, v] for u, v in state_a.edges()]},
+        )
+        assert status == 201
+
+        options = {"k": 1, "solver": "ippv"}
+        static_signature = _cold_signature(static_graph, **options)
+        allowed_mutable = {
+            _cold_signature(state_a, **options),
+            _cold_signature(state_b, **options),
+        }
+
+        errors = []
+        solve_count = [0]
+        rejected_deltas = [0]
+        count_lock = threading.Lock()
+        start = threading.Barrier(SOLVE_CLIENTS + DELTA_CLIENTS)
+
+        def solve_client():
+            try:
+                start.wait(timeout=30)
+                for _ in range(SOLVES_PER_CLIENT):
+                    status, body = _request(
+                        base, "POST", "/v1/solve", {"graph": "static", **options}
+                    )
+                    assert status == 200 and body["ok"], body
+                    assert json_report_signature(body["data"]) == static_signature
+                    with count_lock:
+                        solve_count[0] += 1
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def delta_client(worker_id):
+            # Worker 0 toggles the edge out then back in; worker 1 does
+            # session solves between its own toggle pairs.  Both always
+            # restore state A before their next round, so every observed
+            # report is a solve of state A or state B — never a torn mix.
+            try:
+                start.wait(timeout=30)
+                for _ in range(DELTA_ROUNDS):
+                    status, body = _request(
+                        base,
+                        "POST",
+                        "/v1/graphs/mutable/deltas",
+                        {"remove_edges": [TOGGLED_EDGE]},
+                    )
+                    if status == 400:  # the other client removed it first
+                        assert body["error"]["code"] == "bad_delta"
+                        with count_lock:
+                            rejected_deltas[0] += 1
+                    else:
+                        assert status == 200 and body["ok"], body
+                        status, body = _request(
+                            base,
+                            "POST",
+                            "/v1/graphs/mutable/solve",
+                            options,
+                        )
+                        assert status == 200 and body["ok"], body
+                        assert json_report_signature(body["data"]) in allowed_mutable
+                        status, body = _request(
+                            base,
+                            "POST",
+                            "/v1/graphs/mutable/deltas",
+                            {"add_edges": [TOGGLED_EDGE]},
+                        )
+                        assert status == 200 and body["ok"], body
+                    status, body = _request(
+                        base, "POST", "/v1/graphs/mutable/solve", options
+                    )
+                    assert status == 200 and body["ok"], body
+                    assert json_report_signature(body["data"]) in allowed_mutable
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=solve_client) for _ in range(SOLVE_CLIENTS)
+        ] + [
+            threading.Thread(target=delta_client, args=(i,))
+            for i in range(DELTA_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == [], errors
+        assert solve_count[0] == SOLVE_CLIENTS * SOLVES_PER_CLIENT
+
+        # Quiesced: the mutable graph is back in state A and a final
+        # session solve is deterministic and cold-identical.
+        status, body = _request(base, "POST", "/v1/graphs/mutable/solve", options)
+        assert status == 200
+        assert json_report_signature(body["data"]) == _cold_signature(
+            state_a, **options
+        )
+
+        # The cache ledger accounted for every /v1/solve request: each was
+        # a hit or a miss, every miss stored an artifact, and the static
+        # graph's single content key yields a single ledger entry.
+        status, body = _request(base, "GET", "/v1/stats")
+        assert status == 200 and body["ok"]
+        counters = body["data"]["cache"]["counters"]
+        assert counters["hits"] + counters["misses"] == solve_count[0]
+        assert counters["stores"] == counters["misses"] >= 1
+        assert counters["evictions"] == 0
+        service_counters = body["data"]["counters"]
+        assert service_counters["solves"] >= solve_count[0]
+        # The only errors on the books are the expected delta rejections
+        # from the two toggling clients racing on one edge.
+        assert service_counters["errors"] == rejected_deltas[0]
